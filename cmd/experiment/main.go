@@ -1,0 +1,151 @@
+// Command experiment regenerates the paper's tables and figures from the
+// simulated workcell:
+//
+//	experiment -fig4            Figure 4 batch-size sweep (table + ASCII plot)
+//	experiment -table1          Table 1 SDL metrics at B=1, paper vs measured
+//	experiment -fig3            Figure 3 portal summary and run-detail views
+//	experiment -solvers         §2.5 genetic vs Bayesian vs random
+//	experiment -multiot2        §4 future-work: two OT-2s in parallel
+//	experiment -faults          command-fault resilience sweep
+//	experiment -write-configs d dump the embedded workcell/workflow YAML
+//
+// Flags -seed and -samples scale the workloads; defaults reproduce the
+// paper's parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"colormatch/internal/core"
+	"colormatch/internal/experiments"
+)
+
+func main() {
+	var (
+		fig4      = flag.Bool("fig4", false, "reproduce Figure 4 (batch-size sweep)")
+		fig4stats = flag.Bool("fig4stats", false, "Figure 4 aggregate across seeds (trend beneath run-to-run luck)")
+		repeats   = flag.Int("repeats", 3, "seeds per batch size for -fig4stats")
+		table1    = flag.Bool("table1", false, "reproduce Table 1 (SDL metrics at B=1)")
+		fig3      = flag.Bool("fig3", false, "reproduce Figure 3 (portal views)")
+		solvers   = flag.Bool("solvers", false, "solver comparison (GA vs Bayes vs random)")
+		multiot2  = flag.Bool("multiot2", false, "multi-OT2 future-work projection")
+		faults    = flag.Bool("faults", false, "command-fault resilience sweep")
+		targets   = flag.Bool("targets", false, "target-color sweep (beyond the paper's gray)")
+		all       = flag.Bool("all", false, "run every reproduction")
+		seed      = flag.Int64("seed", 2023, "experiment seed")
+		samples   = flag.Int("samples", 0, "override total samples (0 = paper value)")
+		writeCfg  = flag.String("write-configs", "", "write embedded YAML configs into this directory and exit")
+	)
+	flag.Parse()
+
+	if *writeCfg != "" {
+		if err := writeConfigs(*writeCfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	ran := false
+	run := func(enabled bool, f func() error) {
+		if !enabled && !*all {
+			return
+		}
+		ran = true
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	run(*fig4, func() error {
+		r, err := experiments.Figure4(*seed, *samples, nil)
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		return nil
+	})
+	run(*fig4stats, func() error {
+		stats, err := experiments.Figure4Stats(*seed, *samples, *repeats, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig4Stats(os.Stdout, stats)
+		return nil
+	})
+	run(*table1, func() error {
+		t, err := experiments.Table1(*seed)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return nil
+	})
+	run(*fig3, func() error {
+		_, err := experiments.Figure3(*seed, os.Stdout)
+		return err
+	})
+	run(*solvers, func() error {
+		runs, err := experiments.SolverComparison(*seed, *samples, 8, 3, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSolverComparison(os.Stdout, runs)
+		return nil
+	})
+	run(*multiot2, func() error {
+		n := *samples
+		if n == 0 {
+			n = 64
+		}
+		m, err := experiments.MultiOT2(*seed, n)
+		if err != nil {
+			return err
+		}
+		m.Render(os.Stdout)
+		return nil
+	})
+	run(*faults, func() error {
+		pts, err := experiments.FaultResilience(*seed, *samples, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFaultResilience(os.Stdout, pts)
+		return nil
+	})
+
+	run(*targets, func() error {
+		runs, err := experiments.TargetSweep(*seed, *samples)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTargetSweep(os.Stdout, runs)
+		return nil
+	})
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeConfigs(dir string) error {
+	for name, content := range core.EmbeddedConfigs() {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiment:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+// Command portal serves the data portal (the reproduction of the ACDC
+// portal in the paper's Figure 3): applications publish experiment records
+// to it over HTTP, and users query summaries and run details back.
+//
+//	portal -listen :2100
+//
+// Endpoints: POST /ingest, GET /search, GET /records/<id>,
+// GET /experiments, GET /experiments/<name>/summary, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"colormatch/internal/portal"
+)
+
+func main() {
+	listen := flag.String("listen", ":2100", "HTTP listen address")
+	flag.Parse()
+
+	store := portal.NewStore()
+	fmt.Printf("portal: listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, portal.Serve(store)); err != nil {
+		fmt.Fprintln(os.Stderr, "portal:", err)
+		os.Exit(1)
+	}
+}

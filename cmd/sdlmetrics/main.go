@@ -1,0 +1,53 @@
+// Command sdlmetrics computes the paper's proposed self-driving-lab metrics
+// (Table 1) from a saved event log — post-hoc analysis of a completed
+// experiment, as the paper's continuous publication enables.
+//
+//	colorpicker -batch 1 -samples 16 -events run.jsonl
+//	sdlmetrics -events run.jsonl -colors 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colormatch/internal/metrics"
+	"colormatch/internal/wei"
+)
+
+func main() {
+	var (
+		eventsPath = flag.String("events", "", "event log (JSON lines) written by colorpicker -events (required)")
+		colors     = flag.Int("colors", 0, "total color samples produced in the run (required)")
+	)
+	flag.Parse()
+	if *eventsPath == "" || *colors <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*eventsPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := wei.ReadEventsJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("event log %s is empty", *eventsPath))
+	}
+	s := metrics.Compute(events, *colors)
+	fmt.Printf("events: %d, span %v\n\n", len(events), s.Wall.Round(1e9))
+	metrics.RenderTable1(os.Stdout, s)
+	fmt.Printf("\n%-42s %d\n", "Failed command attempts", s.FailedCommands)
+	fmt.Printf("%-42s %d\n", "Data uploads", s.Uploads)
+	if s.Uploads > 1 {
+		fmt.Printf("%-42s %v\n", "Mean upload interval", s.MeanUploadInterval.Round(1e9))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdlmetrics:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command wfrun validates and executes a single workflow YAML file against
+// a workcell — the WEI-style command-line workflow runner.
+//
+//	wfrun -workcell configs/rpl_workcell.yaml -workflow configs/workflows/cp_wf_newplate.yaml \
+//	      -param ot2=ot2 -param ot2_deck=ot2.deck
+//
+// By default it runs against a fresh in-process simulated workcell; with
+// -server it dispatches to a remote cmd/workcell over HTTP.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"colormatch/internal/core"
+	"colormatch/internal/wei"
+)
+
+type paramList map[string]string
+
+func (p paramList) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p paramList) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("param must be key=value, got %q", v)
+	}
+	p[key] = val
+	return nil
+}
+
+func main() {
+	params := paramList{}
+	var (
+		workcellPath = flag.String("workcell", "", "workcell YAML (validates module targets when given)")
+		workflowPath = flag.String("workflow", "", "workflow YAML to run (required)")
+		server       = flag.String("server", "", "remote workcell base URL (default: in-process simulation)")
+		seed         = flag.Int64("seed", 1, "simulation seed (in-process mode)")
+		validateOnly = flag.Bool("validate", false, "parse and validate only; do not run")
+	)
+	flag.Var(params, "param", "workflow parameter key=value (repeatable)")
+	flag.Parse()
+
+	if *workflowPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	wf, err := wei.LoadWorkflow(*workflowPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *workcellPath != "" {
+		wc, err := wei.LoadWorkcell(*workcellPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wf.Validate(wc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wfrun: %q validates against workcell %q\n", wf.Name, wc.Name)
+	}
+	if *validateOnly {
+		return
+	}
+
+	sim := core.NewSimWorkcell(core.WorkcellOptions{Seed: *seed})
+	var client wei.Client = sim.Registry
+	if *server != "" {
+		client = wei.NewHTTPClient(*server, sim.Registry.Names()...)
+	}
+	log := wei.NewEventLog(sim.Clock)
+	engine := wei.NewEngine(client, sim.Clock, log)
+
+	// Fail fast on module/action typos before moving any hardware.
+	if err := engine.Preflight(context.Background(), wf); err != nil {
+		fatal(err)
+	}
+
+	runParams := make(map[string]any, len(params))
+	for k, v := range params {
+		runParams[k] = v
+	}
+	rec, err := engine.RunWorkflow(context.Background(), wf, runParams)
+	for _, s := range rec.Steps {
+		status := "ok"
+		if s.Err != "" {
+			status = "FAILED: " + s.Err
+		}
+		fmt.Printf("  %-22s %-10s %-16s %10s  %s\n",
+			s.Name, s.Module, s.Action, s.Duration.Round(1e9), status)
+	}
+	fmt.Printf("wfrun: %s finished in %v\n", wf.Name, rec.Duration.Round(1e9))
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParamListSet(t *testing.T) {
+	p := paramList{}
+	if err := p.Set("ot2=ot2_b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("deck=ot2_b.deck"); err != nil {
+		t.Fatal(err)
+	}
+	if p["ot2"] != "ot2_b" || p["deck"] != "ot2_b.deck" {
+		t.Fatalf("params = %v", p)
+	}
+	if err := p.Set("no-equals"); err == nil {
+		t.Fatal("accepted param without =")
+	}
+	// Values may contain '=' after the first.
+	if err := p.Set("q=a=b"); err != nil || p["q"] != "a=b" {
+		t.Fatalf("q = %q, %v", p["q"], err)
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

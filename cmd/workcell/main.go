@@ -1,0 +1,47 @@
+// Command workcell serves the simulated RPL workcell's modules over HTTP,
+// playing the role of the device computers in the physical deployment. A
+// colorpicker application (or cmd/wfrun) on another process — or another
+// machine — can then drive the instruments through the same wire protocol.
+//
+//	workcell -listen :2000 -realtime
+//
+// With -realtime the instruments take real wall-clock time (a plate
+// transfer really takes ~42s); without it the virtual clock makes actions
+// complete immediately while still reporting modeled durations, which is
+// useful for protocol-level integration testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"colormatch/internal/core"
+	"colormatch/internal/wei"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":2000", "HTTP listen address")
+		seed     = flag.Int64("seed", 1, "workcell simulation seed")
+		realtime = flag.Bool("realtime", false, "run instruments on the wall clock")
+		numOT2   = flag.Int("ot2s", 1, "number of liquid-handler modules")
+		stock    = flag.Int("plates", 10, "plate stock in the storage towers")
+	)
+	flag.Parse()
+
+	wc := core.NewSimWorkcell(core.WorkcellOptions{
+		Seed:       *seed,
+		RealTime:   *realtime,
+		NumOT2:     *numOT2,
+		PlateStock: *stock,
+	})
+	handler := wei.ServeModules(wc.Registry)
+	fmt.Printf("workcell: serving modules %v on %s (realtime=%v)\n",
+		wc.Registry.Names(), *listen, *realtime)
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "workcell:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Package colormatch is a Go reproduction of "Exploring Benchmarks for
+// Self-Driving Labs using Color Matching" (Ginsburg et al., SC-W 2023): the
+// Argonne RPL color-picker application, the WEI-style science-factory
+// platform it runs on, simulated equivalents of the five workcell
+// instruments, the §2.4 image-processing pipeline, the §2.5 decision
+// procedures, and the harness that regenerates the paper's evaluation
+// (Figure 3, Figure 4, Table 1).
+//
+// # Quick start
+//
+//	res, _, err := colormatch.Run(colormatch.Config{
+//		Experiment:   "demo",
+//		BatchSize:    8,
+//		TotalSamples: 32,
+//	}, colormatch.RunOptions{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Printf("best color %v at score %.1f in %v\n",
+//		res.Best.Color, res.Best.Score, res.Elapsed())
+//
+// Run builds a complete simulated workcell (plate crane, manipulator,
+// liquid handler, replenisher, camera), wires the WEI engine and solver,
+// and executes the closed loop in virtual time: an 8-hour experiment
+// completes in seconds while reporting faithful timing.
+//
+// For finer control — distributed module servers, custom solvers, fault
+// injection, multi-OT2 operation — compose the same pieces the facade uses;
+// see the examples/ directory.
+package colormatch
+
+import (
+	"colormatch/internal/color"
+	"colormatch/internal/core"
+	"colormatch/internal/experiments"
+	"colormatch/internal/portal"
+	"colormatch/internal/solver"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// RGB is an 8-bit sRGB color. The paper's target is RGB(120,120,120).
+type RGB = color.RGB8
+
+// Metric selects the scoring function (Euclidean RGB or a ΔE variant).
+type Metric = color.Metric
+
+// Scoring metrics.
+const (
+	MetricEuclideanRGB = color.MetricEuclideanRGB
+	MetricDeltaE76     = color.MetricDeltaE76
+	MetricDeltaE94     = color.MetricDeltaE94
+	MetricDeltaE2000   = color.MetricDeltaE2000
+)
+
+// Config parameterizes one color-matching experiment (batch size B, sample
+// budget N, target color, solver-facing metric, and workcell options).
+type Config = core.Config
+
+// RunOptions select the solver, seed, fault plan and publishing behavior.
+type RunOptions = experiments.RunOptions
+
+// Result is a completed experiment: every sample, the Figure 4 trace, the
+// Table 1 metrics, and the raw event log.
+type Result = core.Result
+
+// TracePoint is one sample of the best-score-so-far trajectory.
+type TracePoint = core.TracePoint
+
+// Sample is one mixed-and-measured color with its solver grade.
+type Sample = solver.Sample
+
+// Solver is the decision-procedure interface (Propose / Observe); implement
+// it to plug a custom optimizer into the loop.
+type Solver = solver.Solver
+
+// PortalStore is the in-memory data portal records land in when publishing
+// is enabled.
+type PortalStore = portal.Store
+
+// DefaultTarget is the paper's target color RGB=(120,120,120).
+var DefaultTarget = core.DefaultTarget
+
+// Run executes one color-picker experiment on a fresh simulated workcell.
+// It returns the experiment result and, when opts.Publish is set, the
+// portal store holding the published records.
+func Run(cfg Config, opts RunOptions) (*Result, *PortalStore, error) {
+	return experiments.RunOne(cfg, opts)
+}
+
+// NewSolver constructs one of the built-in solvers by name: "genetic" (the
+// paper's evolutionary solver, random init), "genetic-grid" (uniform-grid
+// init), "bayesian" (GP + expected improvement), "random", "grid", or
+// "analytic" (the white-box oracle).
+func NewSolver(name string, seed int64, target RGB) (Solver, error) {
+	return experiments.NewSolver(name, newRNG(seed), target)
+}

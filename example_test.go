@@ -1,0 +1,56 @@
+package colormatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"colormatch"
+)
+
+// ExampleRun executes a small closed-loop experiment on the simulated
+// workcell. Everything is seeded, so the output is exactly reproducible.
+func ExampleRun() {
+	res, _, err := colormatch.Run(colormatch.Config{
+		Experiment:   "example",
+		BatchSize:    8,
+		TotalSamples: 16,
+	}, colormatch.RunOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("samples: %d\n", len(res.Samples))
+	fmt.Printf("best match: #%02x%02x%02x (score %.1f)\n",
+		res.Best.Color.R, res.Best.Color.G, res.Best.Color.B, res.Best.Score)
+	fmt.Printf("robot time: %s\n", res.Elapsed().Round(1e9*60))
+	// Output:
+	// samples: 16
+	// best match: #535e87 (score 47.6)
+	// robot time: 42m0s
+}
+
+// ExampleNewSolver shows plugging a built-in solver into a manually wired
+// application, the composition Run performs internally.
+func ExampleNewSolver() {
+	wc := colormatch.NewWorkcell(colormatch.WorkcellOptions{Seed: 3})
+	engine, _ := colormatch.NewEngine(wc.Registry, wc)
+	sol, err := colormatch.NewSolver("analytic", 3, colormatch.DefaultTarget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := colormatch.NewApp(colormatch.Config{
+		Experiment:   "oracle",
+		BatchSize:    4,
+		TotalSamples: 4,
+	}, engine, sol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := app.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle reaches score %.0f with %d samples\n",
+		res.Best.Score, len(res.Samples))
+	// Output:
+	// oracle reaches score 1 with 4 samples
+}

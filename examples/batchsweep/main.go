@@ -1,0 +1,28 @@
+// Batchsweep: reproduce the paper's Figure 4 trade-off — smaller batches
+// take longer but match the target color more accurately — at a reduced
+// sample budget so it runs in a few seconds.
+//
+//	go run ./examples/batchsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"colormatch"
+)
+
+func main() {
+	// The paper sweeps B ∈ {1,2,4,8,16,32,64} at N=128. The same sweep at
+	// N=64 preserves the crossover shape and runs quickly; pass nil batches
+	// and samples=128 for the full reproduction (as cmd/experiment -fig4
+	// and the benchmarks do).
+	fig4, err := colormatch.Figure4(2023, 64, []int{1, 4, 16, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig4.Render(os.Stdout)
+
+	fmt.Println("\nExpected shape (paper): smaller B ⇒ longer experiment, lower final score.")
+}

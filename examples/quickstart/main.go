@@ -1,0 +1,48 @@
+// Quickstart: run one closed-loop color-matching experiment on the
+// simulated workcell and print what the paper's Figure 4 would show for it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colormatch"
+)
+
+func main() {
+	// B=8, N=64: the genetic solver proposes 8 colors per iteration; the
+	// workcell mixes them, photographs the plate, and feeds the scores
+	// back. Virtual time makes the 3-hour experiment finish in seconds.
+	res, _, err := colormatch.Run(colormatch.Config{
+		Experiment:   "quickstart",
+		BatchSize:    8,
+		TotalSamples: 64,
+	}, colormatch.RunOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target color: #%02x%02x%02x\n",
+		colormatch.DefaultTarget.R, colormatch.DefaultTarget.G, colormatch.DefaultTarget.B)
+	fmt.Printf("best match:   #%02x%02x%02x  (score %.2f)\n",
+		res.Best.Color.R, res.Best.Color.G, res.Best.Color.B, res.Best.Score)
+	fmt.Printf("experiment:   %v of robot time, %d plates\n\n",
+		res.Elapsed().Round(1e9), res.Plates)
+
+	fmt.Println("best-score-so-far trajectory:")
+	for _, p := range res.Trace {
+		if p.Sample%8 == 0 {
+			fmt.Printf("  after %3d samples (%6.1f min): %6.2f\n",
+				p.Sample, p.Elapsed.Minutes(), p.Best)
+		}
+	}
+
+	fmt.Println("\nSDL metrics for this run (paper Table 1 format):")
+	fmt.Printf("  time without humans:  %v\n", res.Metrics.TWH.Round(1e9))
+	fmt.Printf("  completed commands:   %d\n", res.Metrics.CCWH)
+	fmt.Printf("  synthesis time:       %v\n", res.Metrics.SynthesisTime.Round(1e9))
+	fmt.Printf("  transfer time:        %v\n", res.Metrics.TransferTime.Round(1e9))
+	fmt.Printf("  time per color:       %v\n", res.Metrics.TimePerColor.Round(1e9))
+}

@@ -1,0 +1,86 @@
+package colormatch
+
+import (
+	"io"
+
+	"colormatch/internal/experiments"
+	"colormatch/internal/sim"
+)
+
+// newRNG builds the seeded random stream used by NewSolver.
+func newRNG(seed int64) *sim.RNG { return sim.NewRNG(seed) }
+
+// Figure4Result is the batch-size sweep of the paper's Figure 4.
+type Figure4Result = experiments.Fig4Result
+
+// Table1Result is the Table 1 metric reproduction.
+type Table1Result = experiments.Table1Result
+
+// MultiOT2Result is the §4 future-work projection (two OT-2s in parallel).
+type MultiOT2Result = experiments.MultiOT2Result
+
+// SolverRun is one entry of the solver comparison.
+type SolverRun = experiments.SolverRun
+
+// FaultPoint is one entry of the fault-resilience sweep.
+type FaultPoint = experiments.FaultPoint
+
+// Figure4 reruns the paper's Figure 4 sweep: experiments of `samples`
+// colors at each batch size (defaults: 128 samples, B ∈ {1,2,4,8,16,32,64}).
+func Figure4(seedBase int64, samples int, batches []int) (*Figure4Result, error) {
+	return experiments.Figure4(seedBase, samples, batches)
+}
+
+// Fig4Stat aggregates repeated Figure 4 runs at one batch size.
+type Fig4Stat = experiments.Fig4Stat
+
+// Figure4Stats reruns the Figure 4 sweep `repeats` times per batch size and
+// aggregates final best scores, exposing the batch-size trend beneath
+// run-to-run luck.
+func Figure4Stats(seedBase int64, samples, repeats int, batches []int) ([]Fig4Stat, error) {
+	return experiments.Figure4Stats(seedBase, samples, repeats, batches)
+}
+
+// RenderFig4Stats writes a Figure 4 aggregate as a table.
+func RenderFig4Stats(w io.Writer, stats []Fig4Stat) {
+	experiments.RenderFig4Stats(w, stats)
+}
+
+// Table1 reruns the paper's Table 1 measurement (B=1, N=128) and pairs each
+// metric with the paper's reported value.
+func Table1(seed int64) (*Table1Result, error) {
+	return experiments.Table1(seed)
+}
+
+// Figure3 reruns the paper's Figure 3 campaign (12 runs × 15 samples
+// published to the portal) and writes the summary and run-detail views to w.
+func Figure3(seed int64, w io.Writer) (*PortalStore, error) {
+	return experiments.Figure3(seed, w)
+}
+
+// SolverComparison reruns the §2.5 genetic-vs-Bayesian comparison.
+func SolverComparison(seedBase int64, samples, batch, repeats int, solvers []string) ([]SolverRun, error) {
+	return experiments.SolverComparison(seedBase, samples, batch, repeats, solvers)
+}
+
+// RenderSolverComparison writes a solver comparison as a table.
+func RenderSolverComparison(w io.Writer, runs []SolverRun) {
+	experiments.RenderSolverComparison(w, runs)
+}
+
+// MultiOT2 reruns the §4 future-work experiment: the same workload on one
+// OT-2 versus two OT-2s operating concurrently.
+func MultiOT2(seed int64, samples int) (*MultiOT2Result, error) {
+	return experiments.MultiOT2(seed, samples)
+}
+
+// FaultResilience sweeps command-fault probabilities against the engine's
+// retry machinery.
+func FaultResilience(seed int64, samples int, rates []float64) ([]FaultPoint, error) {
+	return experiments.FaultResilience(seed, samples, rates)
+}
+
+// RenderFaultResilience writes a fault sweep as a table.
+func RenderFaultResilience(w io.Writer, pts []FaultPoint) {
+	experiments.RenderFaultResilience(w, pts)
+}

@@ -1,0 +1,34 @@
+package color
+
+import "testing"
+
+func BenchmarkRGB8ToLab(b *testing.B) {
+	c := RGB8{R: 120, G: 120, B: 120}
+	for i := 0; i < b.N; i++ {
+		_ = c.Lab()
+	}
+}
+
+func BenchmarkDeltaE76(b *testing.B) {
+	x := RGB8{R: 120, G: 120, B: 120}.Lab()
+	y := RGB8{R: 100, G: 140, B: 90}.Lab()
+	for i := 0; i < b.N; i++ {
+		_ = DeltaE76(x, y)
+	}
+}
+
+func BenchmarkDeltaE2000(b *testing.B) {
+	x := RGB8{R: 120, G: 120, B: 120}.Lab()
+	y := RGB8{R: 100, G: 140, B: 90}.Lab()
+	for i := 0; i < b.N; i++ {
+		_ = DeltaE2000(x, y)
+	}
+}
+
+func BenchmarkEuclideanRGB(b *testing.B) {
+	x := RGB8{R: 120, G: 120, B: 120}
+	y := RGB8{R: 100, G: 140, B: 90}
+	for i := 0; i < b.N; i++ {
+		_ = EuclideanRGB(x, y)
+	}
+}

@@ -1,0 +1,192 @@
+package color
+
+import "math"
+
+// EuclideanRGB returns the Euclidean distance between two colors in
+// three-dimensional 8-bit RGB space. This is the score plotted on the
+// y-axis of the paper's Figure 4 ("the Euclidean distance in
+// three-dimensional color space between the target color and the best
+// color seen so far").
+func EuclideanRGB(a, b RGB8) float64 {
+	dr := float64(a.R) - float64(b.R)
+	dg := float64(a.G) - float64(b.G)
+	db := float64(a.B) - float64(b.B)
+	return math.Sqrt(dr*dr + dg*dg + db*db)
+}
+
+// DeltaE76 returns the CIE76 color difference (Euclidean distance in CIELAB),
+// the "delta e distance" used to grade individuals in the paper's genetic
+// algorithm.
+func DeltaE76(a, b Lab) float64 {
+	dl := a.L - b.L
+	da := a.A - b.A
+	db := a.B - b.B
+	return math.Sqrt(dl*dl + da*da + db*db)
+}
+
+// DeltaE94 returns the CIE94 color difference with graphic-arts weighting
+// (kL=1, K1=0.045, K2=0.015).
+func DeltaE94(a, b Lab) float64 {
+	const kL, k1, k2 = 1.0, 0.045, 0.015
+	dl := a.L - b.L
+	c1 := math.Hypot(a.A, a.B)
+	c2 := math.Hypot(b.A, b.B)
+	dc := c1 - c2
+	da := a.A - b.A
+	db := a.B - b.B
+	dh2 := da*da + db*db - dc*dc
+	if dh2 < 0 {
+		dh2 = 0
+	}
+	sl := 1.0
+	sc := 1 + k1*c1
+	sh := 1 + k2*c1
+	t1 := dl / (kL * sl)
+	t2 := dc / sc
+	t3 := math.Sqrt(dh2) / sh
+	return math.Sqrt(t1*t1 + t2*t2 + t3*t3)
+}
+
+// DeltaE2000 returns the CIEDE2000 color difference (Sharma, Wu & Dalal 2005)
+// with unit parametric factors.
+func DeltaE2000(lab1, lab2 Lab) float64 {
+	const kL, kC, kH = 1.0, 1.0, 1.0
+
+	c1 := math.Hypot(lab1.A, lab1.B)
+	c2 := math.Hypot(lab2.A, lab2.B)
+	cBar := (c1 + c2) / 2
+
+	cBar7 := math.Pow(cBar, 7)
+	g := 0.5 * (1 - math.Sqrt(cBar7/(cBar7+math.Pow(25, 7))))
+
+	a1p := (1 + g) * lab1.A
+	a2p := (1 + g) * lab2.A
+	c1p := math.Hypot(a1p, lab1.B)
+	c2p := math.Hypot(a2p, lab2.B)
+
+	h1p := hueAngle(a1p, lab1.B)
+	h2p := hueAngle(a2p, lab2.B)
+
+	dLp := lab2.L - lab1.L
+	dCp := c2p - c1p
+
+	var dhp float64
+	switch {
+	case c1p*c2p == 0:
+		dhp = 0
+	case math.Abs(h2p-h1p) <= 180:
+		dhp = h2p - h1p
+	case h2p-h1p > 180:
+		dhp = h2p - h1p - 360
+	default:
+		dhp = h2p - h1p + 360
+	}
+	dHp := 2 * math.Sqrt(c1p*c2p) * math.Sin(rad(dhp)/2)
+
+	lBarP := (lab1.L + lab2.L) / 2
+	cBarP := (c1p + c2p) / 2
+
+	var hBarP float64
+	switch {
+	case c1p*c2p == 0:
+		hBarP = h1p + h2p
+	case math.Abs(h1p-h2p) <= 180:
+		hBarP = (h1p + h2p) / 2
+	case h1p+h2p < 360:
+		hBarP = (h1p + h2p + 360) / 2
+	default:
+		hBarP = (h1p + h2p - 360) / 2
+	}
+
+	t := 1 - 0.17*math.Cos(rad(hBarP-30)) + 0.24*math.Cos(rad(2*hBarP)) +
+		0.32*math.Cos(rad(3*hBarP+6)) - 0.20*math.Cos(rad(4*hBarP-63))
+
+	dTheta := 30 * math.Exp(-math.Pow((hBarP-275)/25, 2))
+	cBarP7 := math.Pow(cBarP, 7)
+	rc := 2 * math.Sqrt(cBarP7/(cBarP7+math.Pow(25, 7)))
+	lm50 := (lBarP - 50) * (lBarP - 50)
+	sl := 1 + 0.015*lm50/math.Sqrt(20+lm50)
+	sc := 1 + 0.045*cBarP
+	sh := 1 + 0.015*cBarP*t
+	rt := -math.Sin(rad(2*dTheta)) * rc
+
+	tL := dLp / (kL * sl)
+	tC := dCp / (kC * sc)
+	tH := dHp / (kH * sh)
+	return math.Sqrt(tL*tL + tC*tC + tH*tH + rt*tC*tH)
+}
+
+// hueAngle returns the CIELAB hue angle in degrees in [0,360).
+func hueAngle(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	h := math.Atan2(b, a) * 180 / math.Pi
+	if h < 0 {
+		h += 360
+	}
+	return h
+}
+
+func rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Metric identifies a scoring function for comparing a produced color to the
+// target color.
+type Metric int
+
+const (
+	// MetricEuclideanRGB scores by Euclidean distance in 8-bit RGB space
+	// (the paper's Figure 4 y-axis).
+	MetricEuclideanRGB Metric = iota
+	// MetricDeltaE76 scores by CIE76 ΔE in CIELAB.
+	MetricDeltaE76
+	// MetricDeltaE94 scores by CIE94 ΔE.
+	MetricDeltaE94
+	// MetricDeltaE2000 scores by CIEDE2000 ΔE.
+	MetricDeltaE2000
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricEuclideanRGB:
+		return "euclidean-rgb"
+	case MetricDeltaE76:
+		return "delta-e-76"
+	case MetricDeltaE94:
+		return "delta-e-94"
+	case MetricDeltaE2000:
+		return "delta-e-2000"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseMetric parses a metric name as printed by String.
+func ParseMetric(s string) (Metric, bool) {
+	switch s {
+	case "euclidean-rgb":
+		return MetricEuclideanRGB, true
+	case "delta-e-76":
+		return MetricDeltaE76, true
+	case "delta-e-94":
+		return MetricDeltaE94, true
+	case "delta-e-2000":
+		return MetricDeltaE2000, true
+	}
+	return 0, false
+}
+
+// Distance evaluates the metric between two 8-bit sRGB colors.
+func (m Metric) Distance(a, b RGB8) float64 {
+	switch m {
+	case MetricDeltaE76:
+		return DeltaE76(a.Lab(), b.Lab())
+	case MetricDeltaE94:
+		return DeltaE94(a.Lab(), b.Lab())
+	case MetricDeltaE2000:
+		return DeltaE2000(a.Lab(), b.Lab())
+	default:
+		return EuclideanRGB(a, b)
+	}
+}

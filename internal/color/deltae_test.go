@@ -1,0 +1,154 @@
+package color
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanRGBKnown(t *testing.T) {
+	if d := EuclideanRGB(RGB8{0, 0, 0}, RGB8{255, 255, 255}); math.Abs(d-441.6729559) > 1e-6 {
+		t.Fatalf("black-white distance %v", d)
+	}
+	if d := EuclideanRGB(RGB8{120, 120, 120}, RGB8{120, 120, 120}); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	if d := EuclideanRGB(RGB8{120, 120, 120}, RGB8{123, 124, 120}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("3-4-0 distance %v, want 5", d)
+	}
+}
+
+func TestEuclideanRGBSymmetryProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		x, y := RGB8{a, b, c}, RGB8{d, e, g}
+		return EuclideanRGB(x, y) == EuclideanRGB(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanRGBTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, j uint8) bool {
+		x, y, z := RGB8{a, b, c}, RGB8{d, e, g}, RGB8{h, i, j}
+		return EuclideanRGB(x, z) <= EuclideanRGB(x, y)+EuclideanRGB(y, z)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaE76Known(t *testing.T) {
+	a := Lab{50, 10, -10}
+	b := Lab{52, 13, -14}
+	want := math.Sqrt(4 + 9 + 16)
+	if d := DeltaE76(a, b); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("DeltaE76 = %v, want %v", d, want)
+	}
+}
+
+func TestDeltaE94IdentityAndPositivity(t *testing.T) {
+	a := Lab{50, 20, -30}
+	if d := DeltaE94(a, a); d != 0 {
+		t.Fatalf("DeltaE94(a,a) = %v", d)
+	}
+	if d := DeltaE94(a, Lab{51, 20, -30}); d <= 0 {
+		t.Fatalf("DeltaE94 nonpositive: %v", d)
+	}
+}
+
+func TestDeltaE94LessThanOrEqualDeltaE76(t *testing.T) {
+	// With S-weights >= 1, CIE94 never exceeds CIE76.
+	f := func(r1, g1, b1, r2, g2, b2 uint8) bool {
+		a := RGB8{r1, g1, b1}.Lab()
+		b := RGB8{r2, g2, b2}.Lab()
+		return DeltaE94(a, b) <= DeltaE76(a, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sharma, Wu & Dalal (2005) CIEDE2000 reference pairs.
+func TestDeltaE2000SharmaPairs(t *testing.T) {
+	cases := []struct {
+		l1, a1, b1, l2, a2, b2, want float64
+	}{
+		{50.0000, 2.6772, -79.7751, 50.0000, 0.0000, -82.7485, 2.0425},
+		{50.0000, 3.1571, -77.2803, 50.0000, 0.0000, -82.7485, 2.8615},
+		{50.0000, 2.8361, -74.0200, 50.0000, 0.0000, -82.7485, 3.4412},
+		{50.0000, -1.3802, -84.2814, 50.0000, 0.0000, -82.7485, 1.0000},
+		{50.0000, -1.1848, -84.8006, 50.0000, 0.0000, -82.7485, 1.0000},
+		{50.0000, -0.9009, -85.5211, 50.0000, 0.0000, -82.7485, 1.0000},
+		{50.0000, 0.0000, 0.0000, 50.0000, -1.0000, 2.0000, 2.3669},
+		{50.0000, -1.0000, 2.0000, 50.0000, 0.0000, 0.0000, 2.3669},
+		{2.0776, 0.0795, -1.1350, 0.9033, -0.0636, -0.5514, 0.9082},
+	}
+	for i, c := range cases {
+		got := DeltaE2000(Lab{c.l1, c.a1, c.b1}, Lab{c.l2, c.a2, c.b2})
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("pair %d: DeltaE2000 = %.4f, want %.4f", i, got, c.want)
+		}
+	}
+}
+
+func TestDeltaE2000SymmetryProperty(t *testing.T) {
+	f := func(r1, g1, b1, r2, g2, b2 uint8) bool {
+		a := RGB8{r1, g1, b1}.Lab()
+		b := RGB8{r2, g2, b2}.Lab()
+		return math.Abs(DeltaE2000(a, b)-DeltaE2000(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaE2000IdentityProperty(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		lab := RGB8{r, g, b}.Lab()
+		return DeltaE2000(lab, lab) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricStringParseRoundTrip(t *testing.T) {
+	for _, m := range []Metric{MetricEuclideanRGB, MetricDeltaE76, MetricDeltaE94, MetricDeltaE2000} {
+		got, ok := ParseMetric(m.String())
+		if !ok || got != m {
+			t.Errorf("ParseMetric(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := ParseMetric("nope"); ok {
+		t.Error("ParseMetric accepted garbage")
+	}
+	if Metric(99).String() != "unknown" {
+		t.Error("unknown metric String")
+	}
+}
+
+func TestMetricDistanceDispatch(t *testing.T) {
+	a, b := RGB8{120, 120, 120}, RGB8{140, 100, 130}
+	if MetricEuclideanRGB.Distance(a, b) != EuclideanRGB(a, b) {
+		t.Error("euclidean dispatch")
+	}
+	if MetricDeltaE76.Distance(a, b) != DeltaE76(a.Lab(), b.Lab()) {
+		t.Error("de76 dispatch")
+	}
+	if MetricDeltaE94.Distance(a, b) != DeltaE94(a.Lab(), b.Lab()) {
+		t.Error("de94 dispatch")
+	}
+	if MetricDeltaE2000.Distance(a, b) != DeltaE2000(a.Lab(), b.Lab()) {
+		t.Error("de2000 dispatch")
+	}
+}
+
+func TestMetricsAgreeOnIdentity(t *testing.T) {
+	a := RGB8{120, 120, 120}
+	for _, m := range []Metric{MetricEuclideanRGB, MetricDeltaE76, MetricDeltaE94, MetricDeltaE2000} {
+		if d := m.Distance(a, a); d != 0 {
+			t.Errorf("%v self-distance = %v", m, d)
+		}
+	}
+}

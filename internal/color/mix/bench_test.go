@@ -1,0 +1,25 @@
+package mix
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+)
+
+func BenchmarkMixFractions(b *testing.B) {
+	m := NewModel()
+	f := []float64{0.3, 0.25, 0.3, 0.15}
+	for i := 0; i < b.N; i++ {
+		_ = m.MixFractions(f)
+	}
+}
+
+func BenchmarkSensorObserve(b *testing.B) {
+	m := NewModel()
+	s := NewSensor(sim.NewRNG(1))
+	lin := m.MixFractions([]float64{0.3, 0.25, 0.3, 0.15})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Observe(lin)
+	}
+}

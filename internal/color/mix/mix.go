@@ -1,0 +1,191 @@
+// Package mix models the physics the color-picker experiment manipulates:
+// how measured volumes of cyan, magenta, yellow and black dye solutions
+// combine in a microplate well into an observed color.
+//
+// The paper treats this physics as a black box ("treating the problem as a
+// black box ... allows us to employ the problem as a surrogate for more
+// complex problems"). We therefore need a forward model that is realistic
+// enough to be non-trivial for the solvers — non-linear, coupled across
+// channels, observed through an imperfect camera — while remaining cheap to
+// evaluate. A Beer–Lambert subtractive model provides exactly that: each dye
+// attenuates each RGB channel exponentially in its concentration, and the
+// mixture's transmittance is the product of per-dye attenuations.
+package mix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"colormatch/internal/color"
+	"colormatch/internal/sim"
+)
+
+// Dye is one component liquid. K holds the dye's effective extinction
+// coefficients per RGB channel (absorbance per unit volume fraction, with the
+// optical path length of a filled well already folded in).
+type Dye struct {
+	Name string
+	K    [3]float64
+}
+
+// CMYK returns the four component dyes used by the paper's application:
+// cyan, magenta, yellow and black. Wells are always filled entirely with
+// the four dye solutions (fractions sum to 1), so the coefficients are
+// calibrated such that the paper's target color RGB=(120,120,120) lies
+// inside the reachable gamut — a near-equal CMY mix hits it — while the
+// channels still couple: cyan leaks green absorption, magenta leaks red and
+// blue, yellow leaks green, as real dyes do.
+func CMYK() []Dye {
+	return []Dye{
+		{Name: "cyan", K: [3]float64{4.13, 0.90, 0.26}},
+		{Name: "magenta", K: [3]float64{0.75, 3.90, 1.05}},
+		{Name: "yellow", K: [3]float64{0.09, 0.41, 3.60}},
+		{Name: "black", K: [3]float64{3.75, 3.75, 3.75}},
+	}
+}
+
+// Model is the forward optical model for a dye set viewed against a white,
+// diffusely lit background.
+type Model struct {
+	Dyes       []Dye
+	Illuminant color.Linear // light reaching the well, per channel, in [0,1]
+}
+
+// NewModel returns the default model: CMYK dyes under a neutral illuminant.
+func NewModel() *Model {
+	return &Model{Dyes: CMYK(), Illuminant: color.Linear{R: 1, G: 1, B: 1}}
+}
+
+// NumDyes returns the number of component liquids.
+func (m *Model) NumDyes() int { return len(m.Dyes) }
+
+// Transmittance returns the fraction of light transmitted per channel for a
+// well whose contents are the given volume fractions of each dye (fractions
+// must have length NumDyes; they are used as-is, not renormalized).
+func (m *Model) Transmittance(fractions []float64) color.Linear {
+	var a [3]float64
+	for i, d := range m.Dyes {
+		f := 0.0
+		if i < len(fractions) {
+			f = fractions[i]
+		}
+		if f < 0 {
+			f = 0
+		}
+		a[0] += f * d.K[0]
+		a[1] += f * d.K[1]
+		a[2] += f * d.K[2]
+	}
+	return color.Linear{
+		R: math.Exp(-a[0]),
+		G: math.Exp(-a[1]),
+		B: math.Exp(-a[2]),
+	}
+}
+
+// MixFractions returns the linear-light color of a well holding the given
+// volume fractions, i.e. the illuminant filtered by the mixture.
+func (m *Model) MixFractions(fractions []float64) color.Linear {
+	t := m.Transmittance(fractions)
+	return color.Linear{
+		R: m.Illuminant.R * t.R,
+		G: m.Illuminant.G * t.G,
+		B: m.Illuminant.B * t.B,
+	}
+}
+
+// ErrNoVolume reports a mix request whose volumes sum to zero.
+var ErrNoVolume = errors.New("mix: total volume is zero")
+
+// MixVolumes converts absolute volumes (e.g. microliters per dye) to
+// fractions and evaluates the model. The observed color depends only on the
+// proportions, not the absolute amounts, as with real transparent wells
+// imaged from above.
+func (m *Model) MixVolumes(volumes []float64) (color.Linear, error) {
+	if len(volumes) != len(m.Dyes) {
+		return color.Linear{}, fmt.Errorf("mix: got %d volumes for %d dyes", len(volumes), len(m.Dyes))
+	}
+	total := 0.0
+	for _, v := range volumes {
+		if v < 0 {
+			return color.Linear{}, fmt.Errorf("mix: negative volume %v", v)
+		}
+		total += v
+	}
+	if total == 0 {
+		return color.Linear{}, ErrNoVolume
+	}
+	f := make([]float64, len(volumes))
+	for i, v := range volumes {
+		f[i] = v / total
+	}
+	return m.MixFractions(f), nil
+}
+
+// Normalize scales non-negative ratios so they sum to 1. Negative entries are
+// clamped to zero first. If everything is zero it returns a uniform split, so
+// a solver can never produce an unmixable proposal.
+func Normalize(ratios []float64) []float64 {
+	out := make([]float64, len(ratios))
+	total := 0.0
+	for i, r := range ratios {
+		if r > 0 {
+			out[i] = r
+			total += r
+		}
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Sensor models the camera's conversion of well light to 8-bit sRGB pixels:
+// per-channel gain (white balance), additive Gaussian noise in linear light,
+// then sRGB encoding. The real experiment's webcam is the only color sensor
+// the solvers ever see, so noise here propagates into solver grades exactly
+// as in the paper.
+type Sensor struct {
+	Gain     color.Linear
+	NoiseStd float64
+	rng      *sim.RNG
+}
+
+// NewSensor returns a sensor with mild warm white-balance error and shot
+// noise, drawing from rng. A nil rng yields a noiseless sensor.
+func NewSensor(rng *sim.RNG) *Sensor {
+	return &Sensor{
+		Gain:     color.Linear{R: 1.02, G: 0.99, B: 0.95},
+		NoiseStd: 0.006,
+		rng:      rng,
+	}
+}
+
+// IdealSensor returns a unity-gain, noise-free sensor, used by tests and by
+// the analytic oracle.
+func IdealSensor() *Sensor {
+	return &Sensor{Gain: color.Linear{R: 1, G: 1, B: 1}}
+}
+
+// Observe converts linear well light to the 8-bit sRGB value the camera
+// reports.
+func (s *Sensor) Observe(l color.Linear) color.RGB8 {
+	out := color.Linear{
+		R: l.R * s.Gain.R,
+		G: l.G * s.Gain.G,
+		B: l.B * s.Gain.B,
+	}
+	if s.rng != nil && s.NoiseStd > 0 {
+		out.R += s.rng.Normal(0, s.NoiseStd)
+		out.G += s.rng.Normal(0, s.NoiseStd)
+		out.B += s.rng.Normal(0, s.NoiseStd)
+	}
+	return out.Clamp().SRGB8()
+}

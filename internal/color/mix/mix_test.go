@@ -1,0 +1,247 @@
+package mix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colormatch/internal/color"
+	"colormatch/internal/sim"
+)
+
+func TestCMYKHasFourDyes(t *testing.T) {
+	dyes := CMYK()
+	if len(dyes) != 4 {
+		t.Fatalf("CMYK returned %d dyes", len(dyes))
+	}
+	names := map[string]bool{}
+	for _, d := range dyes {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"cyan", "magenta", "yellow", "black"} {
+		if !names[want] {
+			t.Fatalf("missing dye %q", want)
+		}
+	}
+}
+
+func TestPureWaterIsIlluminant(t *testing.T) {
+	m := NewModel()
+	got := m.MixFractions([]float64{0, 0, 0, 0})
+	if got != m.Illuminant {
+		t.Fatalf("empty well color %+v, want illuminant %+v", got, m.Illuminant)
+	}
+}
+
+func TestDyeChannelSelectivity(t *testing.T) {
+	m := NewModel()
+	// Pure cyan must darken red far more than blue; yellow the reverse.
+	cyan := m.MixFractions([]float64{1, 0, 0, 0})
+	if cyan.R >= cyan.B {
+		t.Fatalf("cyan: R=%v not < B=%v", cyan.R, cyan.B)
+	}
+	yellow := m.MixFractions([]float64{0, 0, 1, 0})
+	if yellow.B >= yellow.R {
+		t.Fatalf("yellow: B=%v not < R=%v", yellow.B, yellow.R)
+	}
+	magenta := m.MixFractions([]float64{0, 1, 0, 0})
+	if magenta.G >= magenta.R || magenta.G >= magenta.B {
+		t.Fatalf("magenta: G=%v not darkest (%+v)", magenta.G, magenta)
+	}
+}
+
+func TestBlackIsNeutral(t *testing.T) {
+	m := NewModel()
+	for _, f := range []float64{0.1, 0.3, 0.5, 1.0} {
+		c := m.MixFractions([]float64{0, 0, 0, f})
+		if math.Abs(c.R-c.G) > 1e-12 || math.Abs(c.G-c.B) > 1e-12 {
+			t.Fatalf("black fraction %v not neutral: %+v", f, c)
+		}
+	}
+}
+
+func TestMoreBlackIsDarkerMonotone(t *testing.T) {
+	m := NewModel()
+	prev := math.Inf(1)
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		c := m.MixFractions([]float64{0, 0, 0, f})
+		if c.R >= prev {
+			t.Fatalf("luminance not strictly decreasing at black=%v", f)
+		}
+		prev = c.R
+	}
+}
+
+func TestTargetGrayIsReachable(t *testing.T) {
+	// The paper's target RGB (120,120,120) must lie inside the physically
+	// reachable gamut: fractions are non-negative and sum to 1 (the well is
+	// entirely dye solution). Search the simplex for the best approximation.
+	m := NewModel()
+	target := color.RGB8{R: 120, G: 120, B: 120}
+	best := 1e9
+	var bestF []float64
+	// Coarse simplex scan plus local refinement.
+	for a := 0.0; a <= 1.0; a += 0.02 {
+		for b := 0.0; a+b <= 1.0; b += 0.02 {
+			for c := 0.0; a+b+c <= 1.0; c += 0.02 {
+				f := []float64{a, b, c, 1 - a - b - c}
+				got := IdealSensor().Observe(m.MixFractions(f))
+				if d := color.EuclideanRGB(got, target); d < best {
+					best = d
+					bestF = f
+				}
+			}
+		}
+	}
+	if best > 3 {
+		t.Fatalf("target gray unreachable: best %.2f at %v", best, bestF)
+	}
+	// The solution must be interior-ish, not a degenerate vertex.
+	if bestF[0] < 0.05 || bestF[1] < 0.05 || bestF[2] < 0.05 {
+		t.Fatalf("gray solution degenerate: %v", bestF)
+	}
+}
+
+func TestEqualCMYIsNearTargetGray(t *testing.T) {
+	// Calibration anchor: one-third each of C, M, Y lands near RGB 120 gray.
+	m := NewModel()
+	got := IdealSensor().Observe(m.MixFractions([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3, 0}))
+	if d := color.EuclideanRGB(got, color.RGB8{R: 120, G: 120, B: 120}); d > 12 {
+		t.Fatalf("equal CMY = %+v, %.1f from gray 120", got, d)
+	}
+}
+
+func TestTransmittanceBoundsProperty(t *testing.T) {
+	m := NewModel()
+	f := func(a, b, c, d uint8) bool {
+		fr := Normalize([]float64{float64(a), float64(b), float64(c), float64(d)})
+		tr := m.Transmittance(fr)
+		ok := func(v float64) bool { return v > 0 && v <= 1 }
+		return ok(tr.R) && ok(tr.G) && ok(tr.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixVolumesScaleInvarianceProperty(t *testing.T) {
+	m := NewModel()
+	f := func(a, b, c, d uint8, scale uint8) bool {
+		if a == 0 && b == 0 && c == 0 && d == 0 {
+			return true
+		}
+		k := 1 + float64(scale)
+		v1 := []float64{float64(a), float64(b), float64(c), float64(d)}
+		v2 := make([]float64, 4)
+		for i := range v1 {
+			v2[i] = v1[i] * k
+		}
+		c1, err1 := m.MixVolumes(v1)
+		c2, err2 := m.MixVolumes(v2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(c1.R-c2.R) < 1e-12 && math.Abs(c1.G-c2.G) < 1e-12 && math.Abs(c1.B-c2.B) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixVolumesErrors(t *testing.T) {
+	m := NewModel()
+	if _, err := m.MixVolumes([]float64{0, 0, 0, 0}); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("zero volumes: err = %v, want ErrNoVolume", err)
+	}
+	if _, err := m.MixVolumes([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := m.MixVolumes([]float64{1, -1, 1, 1}); err == nil {
+		t.Fatal("negative volume accepted")
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		out := Normalize([]float64{float64(a), float64(b), float64(c), float64(d)})
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAllZeroIsUniform(t *testing.T) {
+	out := Normalize([]float64{0, 0, 0, 0})
+	for _, v := range out {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("uniform split expected, got %v", out)
+		}
+	}
+}
+
+func TestNormalizeClampsNegatives(t *testing.T) {
+	out := Normalize([]float64{-5, 1, 0, 1})
+	if out[0] != 0 || math.Abs(out[1]-0.5) > 1e-12 || math.Abs(out[3]-0.5) > 1e-12 {
+		t.Fatalf("negative clamp wrong: %v", out)
+	}
+}
+
+func TestSensorNoiseIsBoundedAndCentered(t *testing.T) {
+	s := NewSensor(sim.NewRNG(1))
+	m := NewModel()
+	lin := m.MixFractions([]float64{0.1, 0.1, 0.1, 0.2})
+	ideal := IdealSensor().Observe(lin)
+	var sumD float64
+	for i := 0; i < 500; i++ {
+		got := s.Observe(lin)
+		d := color.EuclideanRGB(got, ideal)
+		if d > 20 {
+			t.Fatalf("noise moved color by %v (%+v vs %+v)", d, got, ideal)
+		}
+		sumD += d
+	}
+	if mean := sumD / 500; mean > 8 {
+		t.Fatalf("mean sensor deviation %v too large", mean)
+	}
+}
+
+func TestIdealSensorIsDeterministic(t *testing.T) {
+	m := NewModel()
+	lin := m.MixFractions([]float64{0.25, 0.25, 0.25, 0.25})
+	a := IdealSensor().Observe(lin)
+	b := IdealSensor().Observe(lin)
+	if a != b {
+		t.Fatalf("ideal sensor nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSensorClampsExtremes(t *testing.T) {
+	s := IdealSensor()
+	over := s.Observe(color.Linear{R: 5, G: 5, B: 5})
+	if over != (color.RGB8{R: 255, G: 255, B: 255}) {
+		t.Fatalf("overexposed = %+v", over)
+	}
+	under := s.Observe(color.Linear{R: -1, G: -1, B: -1})
+	if under != (color.RGB8{}) {
+		t.Fatalf("underexposed = %+v", under)
+	}
+}
+
+func TestTransmittanceShortFractionSlice(t *testing.T) {
+	// Fewer fractions than dyes treats the missing ones as zero.
+	m := NewModel()
+	a := m.Transmittance([]float64{0.5})
+	b := m.Transmittance([]float64{0.5, 0, 0, 0})
+	if a != b {
+		t.Fatalf("short slice mismatch: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestResultSaveLoadRoundTrip(t *testing.T) {
+	app, _, _ := newTestApp(t, Config{
+		Experiment:   "persist",
+		BatchSize:    4,
+		TotalSamples: 8,
+	}, 13)
+	res, err := app.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "result.json")
+	if err := SaveResult(path, res, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Config.Experiment != "persist" || back.Config.BatchSize != 4 {
+		t.Fatalf("config = %+v", back.Config)
+	}
+	if len(back.Samples) != len(res.Samples) {
+		t.Fatalf("samples = %d", len(back.Samples))
+	}
+	for i := range res.Samples {
+		if back.Samples[i].Color != res.Samples[i].Color || back.Samples[i].Score != res.Samples[i].Score {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+	if !reflect.DeepEqual(back.Trace, res.Trace) {
+		t.Fatal("trace mismatch")
+	}
+	if back.Best.Score != res.Best.Score {
+		t.Fatal("best mismatch")
+	}
+	if back.Metrics != res.Metrics {
+		t.Fatalf("metrics mismatch:\n%+v\n%+v", back.Metrics, res.Metrics)
+	}
+	if len(back.Events) != len(res.Events) {
+		t.Fatalf("events = %d, want %d", len(back.Events), len(res.Events))
+	}
+	if !back.Start.Equal(res.Start) || !back.End.Equal(res.End) {
+		t.Fatal("times mismatch")
+	}
+}
+
+func TestResultSaveWithoutEvents(t *testing.T) {
+	app, _, _ := newTestApp(t, Config{
+		Experiment:   "noevents",
+		BatchSize:    8,
+		TotalSamples: 8,
+	}, 14)
+	res, err := app.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := SaveResult(path, res, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != 0 {
+		t.Fatal("events persisted despite includeEvents=false")
+	}
+	if len(back.Samples) != 8 {
+		t.Fatalf("samples = %d", len(back.Samples))
+	}
+}
+
+func TestLoadResultErrors(t *testing.T) {
+	if _, err := LoadResult(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(bad); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	wrongVersion := filepath.Join(dir, "v9.json")
+	if err := writeFile(wrongVersion, `{"schema_version": 9}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(wrongVersion); err == nil {
+		t.Fatal("wrong schema version loaded")
+	}
+	badMetric := filepath.Join(dir, "metric.json")
+	if err := writeFile(badMetric, `{"schema_version": 1, "config": {"metric": "nope"}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(badMetric); err == nil {
+		t.Fatal("unknown metric loaded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

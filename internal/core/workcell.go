@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"colormatch/internal/device"
+	"colormatch/internal/device/barty"
+	"colormatch/internal/device/camera"
+	"colormatch/internal/device/ot2"
+	"colormatch/internal/device/pf400"
+	"colormatch/internal/device/sciclops"
+	"time"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// WorkcellOptions configure the simulated workcell.
+type WorkcellOptions struct {
+	// Seed drives every stochastic element (device jitter, sensor noise,
+	// camera drift). Same seed ⇒ identical experiment.
+	Seed int64
+	// PlateStock is the number of plates in the sciclops towers (default 10).
+	PlateStock int
+	// NumOT2 adds extra liquid handlers named ot2, ot2_b, ot2_c... for the
+	// paper's proposed multi-OT2 experiment (default 1).
+	NumOT2 int
+	// RealTime runs devices against the wall clock instead of virtual time.
+	RealTime bool
+	// Start sets the virtual clock's initial time (default sim.Epoch).
+	// Campaigns stagger it so successive runs appear sequentially on the
+	// portal, as on the physical workcell. Ignored with RealTime.
+	Start time.Time
+}
+
+// SimWorkcell is a fully wired simulated RPL workcell: the shared physical
+// world, the five (or more) instrument modules, and an in-process module
+// registry that doubles as the HTTP server's module set.
+type SimWorkcell struct {
+	Clock    sim.Clock
+	SimClock *sim.SimClock // nil when RealTime
+	World    *device.World
+	Registry *wei.Registry
+
+	Sciclops *sciclops.Module
+	PF400    *pf400.Module
+	OT2s     []*ot2.Module
+	Barty    *barty.Module
+	Camera   *camera.Module
+}
+
+// NewSimWorkcell builds the workcell.
+func NewSimWorkcell(opts WorkcellOptions) *SimWorkcell {
+	if opts.PlateStock == 0 {
+		opts.PlateStock = 10
+	}
+	if opts.NumOT2 == 0 {
+		opts.NumOT2 = 1
+	}
+	var clock sim.Clock
+	var simClock *sim.SimClock
+	if opts.RealTime {
+		clock = sim.RealClock{}
+	} else {
+		start := opts.Start
+		if start.IsZero() {
+			start = sim.Epoch
+		}
+		simClock = sim.NewSimClockAt(start)
+		clock = simClock
+	}
+	world := device.NewWorld(clock, opts.PlateStock)
+	rng := sim.NewRNG(opts.Seed)
+
+	wc := &SimWorkcell{
+		Clock:    clock,
+		SimClock: simClock,
+		World:    world,
+		Registry: wei.NewRegistry(),
+	}
+	wc.Sciclops = sciclops.New("sciclops", world, rng.Derive("sciclops"))
+	wc.PF400 = pf400.New("pf400", world, rng.Derive("pf400"))
+	wc.Barty = barty.New("barty", world, rng.Derive("barty"))
+	wc.Camera = camera.New("camera", world, rng.Derive("camera"))
+	for i := 0; i < opts.NumOT2; i++ {
+		name := OT2Name(i)
+		wc.OT2s = append(wc.OT2s, ot2.New(name, world, rng.Derive(name)))
+	}
+	wc.Registry.Add(wc.Sciclops)
+	wc.Registry.Add(wc.PF400)
+	wc.Registry.Add(wc.Barty)
+	wc.Registry.Add(wc.Camera)
+	for _, m := range wc.OT2s {
+		wc.Registry.Add(m)
+	}
+	return wc
+}
+
+// OT2Name returns the module name of the i-th liquid handler: ot2, ot2_b,
+// ot2_c, ...
+func OT2Name(i int) string {
+	if i == 0 {
+		return "ot2"
+	}
+	return fmt.Sprintf("ot2_%c", 'a'+rune(i))
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"colormatch/internal/wei"
+)
+
+// The four declarative workflows of the color-picker application (paper
+// Figure 2). They are the single source of truth; the copies under configs/
+// are generated from these constants (cmd/experiment -write-configs) and a
+// test guards against divergence.
+//
+// Module names target the canonical single-OT2 workcell; running on a second
+// liquid handler retargets "ot2" via WorkflowSpec.Retarget and passes its
+// name/deck through the $ot2 and $ot2_deck parameters.
+const (
+	// WFNewPlate stages a fresh plate at the camera and loads fresh dye:
+	// sciclops fetches a plate, pf400 moves it to the camera mount, barty
+	// drains and refills the OT-2 reservoirs.
+	WFNewPlate = `name: cp_wf_newplate
+steps:
+  - name: stage_new_plate
+    module: sciclops
+    action: get_plate
+  - name: plate_to_camera
+    module: pf400
+    action: transfer
+    args: {source: sciclops.exchange, target: camera}
+  - name: drain_old_colors
+    module: barty
+    action: drain_colors
+    args: {module: $ot2}
+  - name: fill_fresh_colors
+    module: barty
+    action: fill_colors
+    args: {module: $ot2}
+`
+
+	// WFMixColors performs one batch: pf400 carries the plate to the OT-2,
+	// the OT-2 dispenses and mixes the proposed volumes, pf400 returns the
+	// plate, and the camera photographs it.
+	WFMixColors = `name: cp_wf_mix_colors
+steps:
+  - name: plate_to_ot2
+    module: pf400
+    action: transfer
+    args: {source: camera, target: $ot2_deck}
+  - name: mix_colors
+    module: ot2
+    action: run_protocol
+    args: {protocol: combinatorial_colors, wells: $wells}
+  - name: plate_to_camera
+    module: pf400
+    action: transfer
+    args: {source: $ot2_deck, target: camera}
+  - name: take_picture
+    module: camera
+    action: take_picture
+`
+
+	// WFTrashPlate disposes of the full plate and drains the reservoirs.
+	WFTrashPlate = `name: cp_wf_trashplate
+steps:
+  - name: plate_to_trash
+    module: pf400
+    action: transfer
+    args: {source: camera, target: trash}
+  - name: drain_colors
+    module: barty
+    action: drain_colors
+    args: {module: $ot2}
+`
+
+	// WFReplenish refreshes the OT-2 reservoirs mid-plate.
+	WFReplenish = `name: cp_wf_replenish
+steps:
+  - name: refill_colors
+    module: barty
+    action: refill_colors
+    args: {module: $ot2}
+`
+
+	// Deck-resident workflow variants for multi-OT2 operation (the paper's
+	// proposed future experiment: "integrating additional OT2s in our
+	// workflow, so that multiple plates of colors could be mixed at once").
+	// Each plate rests on its own OT-2 deck and visits the shared camera
+	// only to be photographed, so two loops never contend for the mount
+	// except during exposures.
+
+	// WFNewPlateDeck stages a fresh plate directly on the OT-2 deck.
+	WFNewPlateDeck = `name: cp_wf_newplate_deck
+steps:
+  - name: stage_new_plate
+    module: sciclops
+    action: get_plate
+  - name: plate_to_deck
+    module: pf400
+    action: transfer
+    args: {source: sciclops.exchange, target: $ot2_deck}
+  - name: drain_old_colors
+    module: barty
+    action: drain_colors
+    args: {module: $ot2}
+  - name: fill_fresh_colors
+    module: barty
+    action: fill_colors
+    args: {module: $ot2}
+`
+
+	// WFMixDeck mixes on the deck-resident plate (no transfers).
+	WFMixDeck = `name: cp_wf_mix_deck
+steps:
+  - name: mix_colors
+    module: ot2
+    action: run_protocol
+    args: {protocol: combinatorial_colors, wells: $wells}
+`
+
+	// WFPhotoDeck carries the plate to the camera, photographs it, and
+	// returns it to the deck. Callers must hold the camera gate.
+	WFPhotoDeck = `name: cp_wf_photo_deck
+steps:
+  - name: plate_to_camera
+    module: pf400
+    action: transfer
+    args: {source: $ot2_deck, target: camera}
+  - name: take_picture
+    module: camera
+    action: take_picture
+  - name: plate_to_deck
+    module: pf400
+    action: transfer
+    args: {source: camera, target: $ot2_deck}
+`
+
+	// WFTrashPlateDeck disposes of the deck-resident plate.
+	WFTrashPlateDeck = `name: cp_wf_trashplate_deck
+steps:
+  - name: plate_to_trash
+    module: pf400
+    action: transfer
+    args: {source: $ot2_deck, target: trash}
+  - name: drain_colors
+    module: barty
+    action: drain_colors
+    args: {module: $ot2}
+`
+
+	// WorkcellYAML is the declarative RPL workcell configuration used by
+	// the canonical experiments (the paper's five modules).
+	WorkcellYAML = `name: rpl_workcell
+locations: [sciclops.exchange, camera, ot2.deck, trash]
+modules:
+  - name: sciclops
+    type: plate_crane
+    config: {towers: 4}
+  - name: pf400
+    type: manipulator
+  - name: ot2
+    type: liquid_handler
+    config: {reservoirs: 4, reservoir_capacity_ul: 25000.0}
+  - name: barty
+    type: liquid_replenisher
+    config: {pumps: 4}
+  - name: camera
+    type: camera
+`
+)
+
+// Workflows parses the four application workflows, retargeted to the given
+// liquid-handler module name.
+func Workflows(ot2Name string) (newPlate, mixColors, trashPlate, replenish *wei.WorkflowSpec, err error) {
+	parse := func(src string) *wei.WorkflowSpec {
+		if err != nil {
+			return nil
+		}
+		var wf *wei.WorkflowSpec
+		wf, err = wei.ParseWorkflow([]byte(src))
+		if err != nil {
+			err = fmt.Errorf("core: embedded workflow: %w", err)
+			return nil
+		}
+		if ot2Name != "ot2" {
+			wf = wf.Retarget("ot2", ot2Name)
+		}
+		return wf
+	}
+	newPlate = parse(WFNewPlate)
+	mixColors = parse(WFMixColors)
+	trashPlate = parse(WFTrashPlate)
+	replenish = parse(WFReplenish)
+	return newPlate, mixColors, trashPlate, replenish, err
+}
+
+// WorkflowsDeck parses the deck-resident workflow variants, retargeted to
+// the given liquid-handler module.
+func WorkflowsDeck(ot2Name string) (newPlate, mix, photo, trashPlate, replenish *wei.WorkflowSpec, err error) {
+	parse := func(src string) *wei.WorkflowSpec {
+		if err != nil {
+			return nil
+		}
+		var wf *wei.WorkflowSpec
+		wf, err = wei.ParseWorkflow([]byte(src))
+		if err != nil {
+			err = fmt.Errorf("core: embedded workflow: %w", err)
+			return nil
+		}
+		if ot2Name != "ot2" {
+			wf = wf.Retarget("ot2", ot2Name)
+		}
+		return wf
+	}
+	newPlate = parse(WFNewPlateDeck)
+	mix = parse(WFMixDeck)
+	photo = parse(WFPhotoDeck)
+	trashPlate = parse(WFTrashPlateDeck)
+	replenish = parse(WFReplenish)
+	return newPlate, mix, photo, trashPlate, replenish, err
+}
+
+// EmbeddedConfigs maps config file names to their canonical content, for
+// dumping to a configs/ directory and for divergence tests.
+func EmbeddedConfigs() map[string]string {
+	return map[string]string{
+		"rpl_workcell.yaml":               WorkcellYAML,
+		"workflows/cp_wf_newplate.yaml":   WFNewPlate,
+		"workflows/cp_wf_mix_colors.yaml": WFMixColors,
+		"workflows/cp_wf_trashplate.yaml": WFTrashPlate,
+		"workflows/cp_wf_replenish.yaml":  WFReplenish,
+	}
+}

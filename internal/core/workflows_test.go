@@ -1,0 +1,114 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colormatch/internal/wei"
+)
+
+func TestEmbeddedWorkflowsParseAndValidate(t *testing.T) {
+	wc, err := wei.ParseWorkcell([]byte(WorkcellYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Name != "rpl_workcell" || len(wc.Modules) != 5 {
+		t.Fatalf("workcell = %+v", wc)
+	}
+	np, mix, trash, rep, err := Workflows("ot2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wf := range []*wei.WorkflowSpec{np, mix, trash, rep} {
+		if err := wf.Validate(wc); err != nil {
+			t.Fatalf("%s: %v", wf.Name, err)
+		}
+	}
+	// The four workflows carry the paper's names.
+	names := []string{np.Name, mix.Name, trash.Name, rep.Name}
+	want := []string{"cp_wf_newplate", "cp_wf_mix_colors", "cp_wf_trashplate", "cp_wf_replenish"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("workflow %d named %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestWorkflowsRetargetForSecondOT2(t *testing.T) {
+	_, mix, _, _, err := Workflows("ot2_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range mix.Steps {
+		if s.Action == "run_protocol" {
+			found = true
+			if s.Module != "ot2_b" {
+				t.Fatalf("run_protocol targets %q", s.Module)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no run_protocol step")
+	}
+}
+
+func TestDeckWorkflowsParse(t *testing.T) {
+	np, mix, photo, trash, rep, err := WorkflowsDeck("ot2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix.Steps) != 1 || mix.Steps[0].Action != "run_protocol" {
+		t.Fatalf("deck mix steps = %+v", mix.Steps)
+	}
+	if len(photo.Steps) != 3 {
+		t.Fatalf("photo steps = %d", len(photo.Steps))
+	}
+	for _, wf := range []*wei.WorkflowSpec{np, trash, rep} {
+		if len(wf.Steps) == 0 {
+			t.Fatalf("%s empty", wf.Name)
+		}
+	}
+}
+
+// TestConfigsDirectoryMatchesEmbedded guards against configs/ drifting from
+// the embedded single source of truth (regenerate with
+// `go run ./cmd/experiment -write-configs .`).
+func TestConfigsDirectoryMatchesEmbedded(t *testing.T) {
+	root := filepath.Join("..", "..", "configs")
+	for name, want := range EmbeddedConfigs() {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing config file: %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("configs/%s diverged from embedded constant; regenerate with cmd/experiment -write-configs", name)
+		}
+	}
+}
+
+func TestOT2Name(t *testing.T) {
+	if OT2Name(0) != "ot2" || OT2Name(1) != "ot2_b" || OT2Name(2) != "ot2_c" {
+		t.Fatalf("names: %s %s %s", OT2Name(0), OT2Name(1), OT2Name(2))
+	}
+}
+
+func TestNewSimWorkcellShape(t *testing.T) {
+	wc := NewSimWorkcell(WorkcellOptions{Seed: 1, NumOT2: 2, PlateStock: 3})
+	names := wc.Registry.Names()
+	if len(names) != 6 {
+		t.Fatalf("modules = %v", names)
+	}
+	if wc.World.StockRemaining() != 3 {
+		t.Fatalf("stock = %d", wc.World.StockRemaining())
+	}
+	if wc.SimClock == nil {
+		t.Fatal("SimClock nil in virtual mode")
+	}
+	rt := NewSimWorkcell(WorkcellOptions{Seed: 1, RealTime: true})
+	if rt.SimClock != nil {
+		t.Fatal("SimClock set in realtime mode")
+	}
+}

@@ -1,0 +1,119 @@
+// Package barty simulates RPL's custom liquid replenisher: "a robot
+// developed in RPL with four peristaltic pumps that transfer liquid from
+// large storage vessels to the reservoirs of the ot2. Our application
+// instructs barty to refill the ot2 reservoirs periodically so that
+// experiments can run for extended periods."
+//
+// barty is the device the paper adds over its earlier color-picker version;
+// without it the experiment would halt when reservoirs empty.
+package barty
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"colormatch/internal/device"
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// PumpRateULPerSec is the peristaltic pump transfer rate. All four pumps
+// run concurrently, so a fill's duration is set by the largest deficit.
+const PumpRateULPerSec = 250.0
+
+// SetupDuration covers hose priming per command.
+const SetupDuration = 10 * time.Second
+
+// Module is the barty WEI module.
+type Module struct {
+	*wei.Base
+	world  *device.World
+	timing *device.Timing
+}
+
+// New returns a barty module bound to the world.
+func New(name string, world *device.World, rng *sim.RNG) *Module {
+	m := &Module{
+		Base:   wei.NewBase(name, "liquid_replenisher", "Barty peristaltic-pump liquid replenisher (simulated)"),
+		world:  world,
+		timing: &device.Timing{Clock: world.Clock, RNG: rng, Jitter: 0.05},
+	}
+	m.Register(wei.ActionInfo{
+		Name:        "fill_colors",
+		Description: "pump dye from storage vessels until the target module's reservoirs are full",
+		Args:        []string{"module"},
+	}, m.fillColors)
+	m.Register(wei.ActionInfo{
+		Name:        "drain_colors",
+		Description: "drain the target module's reservoirs",
+		Args:        []string{"module"},
+	}, m.drainColors)
+	m.Register(wei.ActionInfo{
+		Name:        "refill_colors",
+		Description: "drain then refill the target module's reservoirs with fresh dye",
+		Args:        []string{"module"},
+	}, m.refillColors)
+	return m
+}
+
+func (m *Module) target(args wei.Args) (string, error) {
+	mod, ok := args["module"].(string)
+	if !ok || mod == "" {
+		return "", fmt.Errorf("barty: action requires string arg %q", "module")
+	}
+	return mod, nil
+}
+
+func (m *Module) fillColors(ctx context.Context, args wei.Args) (wei.Result, error) {
+	mod, err := m.target(args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := m.world.Reservoirs(mod)
+	if err != nil {
+		return nil, err
+	}
+	m.timing.Work(SetupDuration)
+	maxAdded := 0.0
+	added := make([]any, len(rs))
+	for i, r := range rs {
+		a := r.Fill(r.Capacity - r.Volume())
+		added[i] = a
+		if a > maxAdded {
+			maxAdded = a
+		}
+	}
+	m.timing.Work(time.Duration(maxAdded / PumpRateULPerSec * float64(time.Second)))
+	return wei.Result{"module": mod, "added_ul": added}, nil
+}
+
+func (m *Module) drainColors(ctx context.Context, args wei.Args) (wei.Result, error) {
+	mod, err := m.target(args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := m.world.Reservoirs(mod)
+	if err != nil {
+		return nil, err
+	}
+	m.timing.Work(SetupDuration)
+	maxDrained := 0.0
+	drained := make([]any, len(rs))
+	for i, r := range rs {
+		d := r.Drain()
+		drained[i] = d
+		if d > maxDrained {
+			maxDrained = d
+		}
+	}
+	m.timing.Work(time.Duration(maxDrained / PumpRateULPerSec * float64(time.Second)))
+	return wei.Result{"module": mod, "drained_ul": drained}, nil
+}
+
+func (m *Module) refillColors(ctx context.Context, args wei.Args) (wei.Result, error) {
+	if _, err := m.drainColors(ctx, args); err != nil {
+		return nil, err
+	}
+	return m.fillColors(ctx, args)
+}

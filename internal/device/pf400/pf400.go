@@ -1,0 +1,94 @@
+// Package pf400 simulates the workcell's manipulator: "a robotic arm used
+// to transfer microplates between different plate stations. Operating on a
+// rail mechanism, this robot acts as the central transportation unit within
+// the workcell."
+//
+// Transfer durations are the workcell's dominant non-synthesis cost (the
+// paper's Table 1 "transfer time" is 3h02m of an 8h12m run), so the timing
+// model here is calibrated: a pick, rail travel between stations, and a
+// place.
+package pf400
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"colormatch/internal/device"
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// Timing model components. A full camera↔ot2 transfer is pick + travel +
+// place ≈ 42s, giving the paper's ~84s of arm time per B=1 iteration.
+const (
+	PickDuration  = 12 * time.Second
+	PlaceDuration = 12 * time.Second
+	// TravelPerStation is rail travel time between adjacent stations.
+	TravelPerStation = 9 * time.Second
+)
+
+// railOrder fixes the station layout along the rail, used to model travel
+// distance. Unknown locations count as one station away.
+var railOrder = map[string]int{
+	device.LocSciclopsExchange: 0,
+	device.LocCamera:           1,
+	device.LocOT2Deck:          3,
+	device.LocTrash:            4,
+}
+
+// Module is the pf400 WEI module.
+type Module struct {
+	*wei.Base
+	world  *device.World
+	timing *device.Timing
+}
+
+// New returns a pf400 module bound to the world.
+func New(name string, world *device.World, rng *sim.RNG) *Module {
+	m := &Module{
+		Base:   wei.NewBase(name, "manipulator", "PF400 rail-mounted plate manipulator (simulated)"),
+		world:  world,
+		timing: &device.Timing{Clock: world.Clock, RNG: rng, Jitter: 0.05},
+	}
+	m.Register(wei.ActionInfo{
+		Name:        "transfer",
+		Description: "move the microplate from source to target station",
+		Args:        []string{"source", "target"},
+	}, m.transfer)
+	return m
+}
+
+// TransferDuration returns the modeled (un-jittered) duration of a transfer
+// between two stations.
+func TransferDuration(source, target string) time.Duration {
+	s, okS := railOrder[source]
+	t, okT := railOrder[target]
+	dist := 1
+	if okS && okT {
+		dist = s - t
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist == 0 {
+			dist = 1
+		}
+	}
+	return PickDuration + PlaceDuration + time.Duration(dist)*TravelPerStation
+}
+
+func (m *Module) transfer(ctx context.Context, args wei.Args) (wei.Result, error) {
+	source, ok := args["source"].(string)
+	if !ok || source == "" {
+		return nil, fmt.Errorf("pf400: transfer requires string arg %q", "source")
+	}
+	target, ok := args["target"].(string)
+	if !ok || target == "" {
+		return nil, fmt.Errorf("pf400: transfer requires string arg %q", "target")
+	}
+	m.timing.Work(TransferDuration(source, target))
+	if err := m.world.MovePlate(source, target); err != nil {
+		return nil, err
+	}
+	return wei.Result{"source": source, "target": target}, nil
+}

@@ -1,0 +1,57 @@
+// Package sciclops simulates the Hudson SciClops microplate handler: "a
+// microplate storage and staging system that can access multiple storage
+// towers, facilitating the housing of plates." Its single robotic action
+// fetches a fresh plate from the towers and stages it at the exchange
+// location, where the pf400 picks it up.
+package sciclops
+
+import (
+	"context"
+	"time"
+
+	"colormatch/internal/device"
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// GetPlateDuration is the modeled time for a tower fetch and stage.
+const GetPlateDuration = 30 * time.Second
+
+// Module is the sciclops WEI module.
+type Module struct {
+	*wei.Base
+	world  *device.World
+	timing *device.Timing
+}
+
+// New returns a sciclops module bound to the world. rng drives timing
+// jitter and may be nil for deterministic durations.
+func New(name string, world *device.World, rng *sim.RNG) *Module {
+	m := &Module{
+		Base:   wei.NewBase(name, "plate_crane", "Hudson SciClops microplate storage and staging system (simulated)"),
+		world:  world,
+		timing: &device.Timing{Clock: world.Clock, RNG: rng, Jitter: 0.05},
+	}
+	m.Register(wei.ActionInfo{
+		Name:        "get_plate",
+		Description: "fetch a fresh plate from the storage towers and stage it at the exchange",
+	}, m.getPlate)
+	m.Register(wei.ActionInfo{
+		Name:        "status",
+		Description: "report remaining plate stock",
+	}, m.status)
+	return m
+}
+
+func (m *Module) getPlate(ctx context.Context, args wei.Args) (wei.Result, error) {
+	m.timing.Work(GetPlateDuration)
+	p, err := m.world.TakeNewPlate(device.LocSciclopsExchange)
+	if err != nil {
+		return nil, err
+	}
+	return wei.Result{"plate_id": p.ID, "location": device.LocSciclopsExchange}, nil
+}
+
+func (m *Module) status(ctx context.Context, args wei.Args) (wei.Result, error) {
+	return wei.Result{"plates_remaining": float64(m.world.StockRemaining())}, nil
+}

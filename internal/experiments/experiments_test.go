@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"colormatch/internal/color"
+	"colormatch/internal/core"
+	"colormatch/internal/sim"
+)
+
+func TestFigure4ReducedSweep(t *testing.T) {
+	r, err := Figure4(1, 24, []int{4, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	small, large := r.Series[0], r.Series[1]
+	if small.BatchSize != 4 || large.BatchSize != 24 {
+		t.Fatalf("order = %d, %d", small.BatchSize, large.BatchSize)
+	}
+	// The robust half of the Figure 4 trend: smaller batches take longer
+	// for the same sample budget.
+	if small.Wall <= large.Wall {
+		t.Fatalf("B=4 wall %v not > B=24 wall %v", small.Wall, large.Wall)
+	}
+	for _, s := range r.Series {
+		if len(s.Trace) != 24 {
+			t.Fatalf("B=%d trace has %d points", s.BatchSize, len(s.Trace))
+		}
+		if s.Final != s.Trace[len(s.Trace)-1].Best {
+			t.Fatal("final/trace mismatch")
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	for _, want := range []string{"Figure 4", "Batch size B", "B=4", "B=24", "best score so far"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure4TimingMatchesCalibration(t *testing.T) {
+	// At B=1 each sample costs ~231s + logistics; check the per-sample rate
+	// on a short run so the full 128-sample run lands near the paper's 8h12m.
+	r, err := Figure4(3, 8, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSample := r.Series[0].Wall / 8
+	if perSample < 220*time.Second || perSample > 290*time.Second {
+		t.Fatalf("B=1 per-sample time %v, want ~240s", perSample)
+	}
+}
+
+func TestFigure4StatsAggregates(t *testing.T) {
+	stats, err := Figure4Stats(5, 16, 2, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	for _, s := range stats {
+		if len(s.Finals) != 2 {
+			t.Fatalf("B=%d finals = %d", s.BatchSize, len(s.Finals))
+		}
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Fatalf("B=%d ordering: min %v mean %v max %v", s.BatchSize, s.Min, s.Mean, s.Max)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig4Stats(&buf, stats)
+	if !strings.Contains(buf.String(), "Mean final") {
+		t.Fatal("stats render missing header")
+	}
+}
+
+func TestRunOneWithEachSolver(t *testing.T) {
+	for _, name := range []string{"genetic", "bayesian", "random", "grid", "analytic"} {
+		res, _, err := RunOne(core.Config{
+			Experiment:   "solver_" + name,
+			BatchSize:    8,
+			TotalSamples: 8,
+		}, RunOptions{Seed: 2, Solver: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Samples) != 8 {
+			t.Fatalf("%s produced %d samples", name, len(res.Samples))
+		}
+	}
+	if _, _, err := RunOne(core.Config{}, RunOptions{Solver: "ghost"}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestAnalyticOracleBeatsRandomThroughFullPipeline(t *testing.T) {
+	// The oracle knows the physics; even through camera noise it must land
+	// near the target while random search stays well away on average.
+	oracle, _, err := RunOne(core.Config{
+		Experiment: "oracle", BatchSize: 8, TotalSamples: 16,
+	}, RunOptions{Seed: 4, Solver: "analytic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Best.Score > 15 {
+		t.Fatalf("oracle best %.1f through the camera", oracle.Best.Score)
+	}
+}
+
+func TestSolverComparisonShape(t *testing.T) {
+	runs, err := SolverComparison(1, 16, 8, 2, []string{"genetic", "random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	var buf bytes.Buffer
+	RenderSolverComparison(&buf, runs)
+	for _, want := range []string{"genetic", "random", "mean"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestMultiOT2TrendMatchesPaperPrediction(t *testing.T) {
+	m, err := MultiOT2(11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "an increase in CCWH, but potentially a lower TWH for the same
+	// experimental results"
+	if m.DualWall >= m.SingleWall {
+		t.Fatalf("dual wall %v not < single wall %v", m.DualWall, m.SingleWall)
+	}
+	if m.DualCCWH <= m.SingleCCWH {
+		t.Fatalf("dual CCWH %d not > single CCWH %d", m.DualCCWH, m.SingleCCWH)
+	}
+	var buf bytes.Buffer
+	m.Render(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("render missing speedup")
+	}
+}
+
+func TestFaultResilienceSweep(t *testing.T) {
+	pts, err := FaultResilience(3, 8, []float64{0, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	clean, faulty := pts[0], pts[1]
+	if !clean.Completed || clean.Retries != 0 || clean.Failed != 0 {
+		t.Fatalf("clean run = %+v", clean)
+	}
+	if faulty.Retries == 0 && faulty.Failed == 0 {
+		t.Fatalf("faulty run saw no faults: %+v", faulty)
+	}
+	var buf bytes.Buffer
+	RenderFaultResilience(&buf, pts)
+	if !strings.Contains(buf.String(), "P(fault)") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure3CampaignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	store, err := Figure3(21, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := store.Summarize("color_picker_rpl_2023-08-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 3: 12 runs × 15 samples = 180, one image per run.
+	if sum.Runs != 12 || sum.Samples != 180 || sum.Images != 12 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestTargetSweepCoversGamut(t *testing.T) {
+	runs, err := TargetSweep(9, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("targets = %d", len(runs))
+	}
+	for _, r := range runs {
+		// Every in-gamut target must be approachable within a loose bound
+		// on this small budget.
+		if r.Final > 60 {
+			t.Fatalf("target %s final %.1f", r.Name, r.Final)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTargetSweep(&buf, runs)
+	if !strings.Contains(buf.String(), "paper-gray") {
+		t.Fatal("render missing target name")
+	}
+}
+
+func TestGradeMetricSeparatesSolverViewFromTrace(t *testing.T) {
+	// Grade with ΔE2000 while tracing Euclidean RGB, as the paper does
+	// (GA grades = delta e, Figure 4 y-axis = Euclidean).
+	res, _, err := RunOne(core.Config{
+		Experiment:     "grade_metric",
+		BatchSize:      8,
+		TotalSamples:   16,
+		GradeMetric:    color.MetricDeltaE2000,
+		GradeMetricSet: true,
+	}, RunOptions{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace scores are Euclidean (tens for random colors); solver grades
+	// are ΔE2000 (different scale). They must differ for the same samples.
+	differ := false
+	for i, tp := range res.Trace {
+		if res.Samples[i].Score != tp.Score {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("grade metric had no effect")
+	}
+	// Both monotone invariants still hold.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Best > res.Trace[i-1].Best {
+			t.Fatal("trace best increased")
+		}
+	}
+}
+
+func TestNewSolverFactoryDeterminism(t *testing.T) {
+	a, err := NewSolver("genetic", sim.NewRNG(7), core.DefaultTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSolver("genetic", sim.NewRNG(7), core.DefaultTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Propose(4), b.Propose(4)
+	for i := range pa {
+		for j := range pa[i] {
+			if pa[i][j] != pb[i][j] {
+				t.Fatal("solver factory nondeterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"colormatch/internal/color"
+	"colormatch/internal/core"
+	"colormatch/internal/metrics"
+	"colormatch/internal/portal"
+	"colormatch/internal/report"
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// SolverRun is one entry of the solver comparison.
+type SolverRun struct {
+	Solver string
+	Seed   int64
+	Final  float64
+	Wall   time.Duration
+}
+
+// SolverComparison reproduces the paper's §2.5 claim that the Bayesian
+// solver "does not yield a systematic improvement over the genetic
+// algorithm": it runs each named solver on the Figure 4 workload across
+// several seeds and reports final best scores.
+func SolverComparison(seedBase int64, samples, batch, repeats int, solvers []string) ([]SolverRun, error) {
+	if samples == 0 {
+		samples = 128
+	}
+	if batch == 0 {
+		batch = 8
+	}
+	if repeats == 0 {
+		repeats = 3
+	}
+	if len(solvers) == 0 {
+		solvers = []string{"genetic", "bayesian", "random"}
+	}
+	var out []SolverRun
+	for _, name := range solvers {
+		for r := 0; r < repeats; r++ {
+			seed := seedBase + int64(r)*101
+			res, _, err := RunOne(core.Config{
+				Experiment:   fmt.Sprintf("solvers_%s_%d", name, r),
+				BatchSize:    batch,
+				TotalSamples: samples,
+			}, RunOptions{Seed: seed, Solver: name})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: solver %s seed %d: %w", name, seed, err)
+			}
+			out = append(out, SolverRun{
+				Solver: name,
+				Seed:   seed,
+				Final:  res.Trace[len(res.Trace)-1].Best,
+				Wall:   res.Elapsed(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderSolverComparison writes the comparison with per-solver means.
+func RenderSolverComparison(w io.Writer, runs []SolverRun) {
+	fmt.Fprintln(w, "Solver comparison — final best score (lower is better)")
+	fmt.Fprintln(w)
+	var rows [][]string
+	sums := map[string][]float64{}
+	for _, r := range runs {
+		rows = append(rows, []string{r.Solver, fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%.1f", r.Final)})
+		sums[r.Solver] = append(sums[r.Solver], r.Final)
+	}
+	report.Table(w, []string{"Solver", "Seed", "Final best"}, rows)
+	fmt.Fprintln(w)
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if seen[r.Solver] {
+			continue
+		}
+		seen[r.Solver] = true
+		vals := sums[r.Solver]
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		fmt.Fprintf(w, "mean %-10s %.1f over %d seeds\n", r.Solver, mean, len(vals))
+	}
+}
+
+// MultiOT2Result compares the single-OT2 baseline with two OT-2s mixing
+// concurrently (the paper's proposed future experiment).
+type MultiOT2Result struct {
+	SingleWall time.Duration
+	SingleCCWH int
+	DualWall   time.Duration
+	DualCCWH   int
+	Samples    int
+}
+
+// MultiOT2 runs the same total workload (N samples at B=1) on one OT-2 and
+// then split across two OT-2s operating in parallel on their own plates,
+// sharing the pf400, sciclops, barty and camera. The paper predicts "an
+// increase in CCWH, but potentially a lower TWH for the same experimental
+// results".
+func MultiOT2(seed int64, samples int) (*MultiOT2Result, error) {
+	if samples == 0 {
+		samples = 64
+	}
+	out := &MultiOT2Result{Samples: samples}
+
+	// Baseline: one OT-2, deck mode for apples-to-apples workflows.
+	res, _, err := func() (*core.Result, *portal.Store, error) {
+		wc := core.NewSimWorkcell(core.WorkcellOptions{Seed: seed})
+		log := wei.NewEventLog(wc.Clock)
+		engine := wei.NewEngine(wc.Registry, wc.Clock, log)
+		sol, err := NewSolver("genetic", sim.NewRNG(seed).Derive("solver"), core.DefaultTarget)
+		if err != nil {
+			return nil, nil, err
+		}
+		app, err := core.NewApp(core.Config{
+			Experiment:   "multi_ot2_single",
+			BatchSize:    1,
+			TotalSamples: samples,
+			DeckMode:     true,
+		}, engine, sol)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := app.Run(context.Background())
+		return r, nil, err
+	}()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: multi-ot2 baseline: %w", err)
+	}
+	out.SingleWall = res.Elapsed()
+	out.SingleCCWH = res.Metrics.CCWH
+
+	// Dual: two loops, each with half the budget, running concurrently in
+	// virtual time against one shared workcell.
+	wc := core.NewSimWorkcell(core.WorkcellOptions{Seed: seed + 1, NumOT2: 2})
+	log := wei.NewEventLog(wc.Clock)
+	engine := wei.NewEngine(wc.Registry, wc.Clock, log)
+	gate := core.NewCameraGate(wc.SimClock)
+	rng := sim.NewRNG(seed + 1)
+
+	mkApp := func(ot2Name string, n int) (*core.App, error) {
+		sol, err := NewSolver("genetic", rng.Derive("solver-"+ot2Name), core.DefaultTarget)
+		if err != nil {
+			return nil, err
+		}
+		app, err := core.NewApp(core.Config{
+			Experiment:   "multi_ot2_dual",
+			BatchSize:    1,
+			TotalSamples: n,
+			OT2:          ot2Name,
+			DeckMode:     true,
+		}, engine, sol)
+		if err != nil {
+			return nil, err
+		}
+		app.CameraGate = gate
+		return app, nil
+	}
+	half := samples / 2
+	appA, err := mkApp("ot2", half)
+	if err != nil {
+		return nil, err
+	}
+	appB, err := mkApp(core.OT2Name(1), samples-half)
+	if err != nil {
+		return nil, err
+	}
+
+	wc.SimClock.AddWorker(2)
+	start := wc.Clock.Now()
+	var wg sync.WaitGroup
+	var errA, errB error
+	var resA, resB *core.Result
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer wc.SimClock.DoneWorker()
+		resA, errA = appA.Run(context.Background())
+	}()
+	go func() {
+		defer wg.Done()
+		defer wc.SimClock.DoneWorker()
+		resB, errB = appB.Run(context.Background())
+	}()
+	wg.Wait()
+	if errA != nil {
+		return nil, fmt.Errorf("experiments: multi-ot2 loop A: %w", errA)
+	}
+	if errB != nil {
+		return nil, fmt.Errorf("experiments: multi-ot2 loop B: %w", errB)
+	}
+	out.DualWall = wc.Clock.Now().Sub(start)
+	combined := metrics.Compute(log.Events(), len(resA.Samples)+len(resB.Samples))
+	out.DualCCWH = combined.CCWH
+	return out, nil
+}
+
+// Render writes the multi-OT2 comparison.
+func (m *MultiOT2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Multi-OT2 projection — N=%d at B=1 (paper §4 future work)\n\n", m.Samples)
+	report.Table(w, []string{"Configuration", "Wall time", "CCWH"}, [][]string{
+		{"1 × OT-2", fmt.Sprintf("%.0f min", m.SingleWall.Minutes()), fmt.Sprintf("%d", m.SingleCCWH)},
+		{"2 × OT-2", fmt.Sprintf("%.0f min", m.DualWall.Minutes()), fmt.Sprintf("%d", m.DualCCWH)},
+	})
+	fmt.Fprintf(w, "\nspeedup: %.2fx wall-time, CCWH ratio %.2f\n",
+		m.SingleWall.Seconds()/m.DualWall.Seconds(),
+		float64(m.DualCCWH)/float64(m.SingleCCWH))
+}
+
+// TargetRun is one entry of the target-color sweep.
+type TargetRun struct {
+	Name   string
+	Target color.RGB8
+	Final  float64
+	Best   color.RGB8
+}
+
+// TargetSweep runs the standard workload against several target colors —
+// the flexibility the paper emphasizes ("a simple and flexible SDL test
+// case"): gray is the published benchmark, but any color inside the dye
+// gamut is a valid target.
+func TargetSweep(seed int64, samples int) ([]TargetRun, error) {
+	if samples == 0 {
+		samples = 64
+	}
+	targets := []TargetRun{
+		{Name: "paper-gray", Target: color.RGB8{R: 120, G: 120, B: 120}},
+		{Name: "teal", Target: color.RGB8{R: 70, G: 130, B: 140}},
+		{Name: "plum", Target: color.RGB8{R: 130, G: 80, B: 120}},
+		{Name: "olive", Target: color.RGB8{R: 120, G: 125, B: 60}},
+	}
+	for i := range targets {
+		res, _, err := RunOne(core.Config{
+			Experiment:   "target_" + targets[i].Name,
+			Target:       targets[i].Target,
+			BatchSize:    8,
+			TotalSamples: samples,
+		}, RunOptions{Seed: seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: target %s: %w", targets[i].Name, err)
+		}
+		targets[i].Final = res.Trace[len(res.Trace)-1].Best
+		targets[i].Best = res.Best.Color
+	}
+	return targets, nil
+}
+
+// RenderTargetSweep writes the sweep.
+func RenderTargetSweep(w io.Writer, runs []TargetRun) {
+	fmt.Fprintln(w, "Target-color sweep — genetic solver, B=8")
+	fmt.Fprintln(w)
+	var rows [][]string
+	for _, r := range runs {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("#%02x%02x%02x", r.Target.R, r.Target.G, r.Target.B),
+			fmt.Sprintf("#%02x%02x%02x", r.Best.R, r.Best.G, r.Best.B),
+			fmt.Sprintf("%.1f", r.Final),
+		})
+	}
+	report.Table(w, []string{"Target", "Wanted", "Best match", "Final score"}, rows)
+}
+
+// FaultPoint is one entry of the resilience sweep.
+type FaultPoint struct {
+	PReceive  float64
+	Completed bool
+	Samples   int
+	CCWH      int
+	Retries   int
+	Failed    int
+}
+
+// FaultResilience sweeps command receive-fault probabilities and reports
+// how the retry machinery holds the experiment together — the behavior the
+// paper's CCWH metric is designed to expose ("most failures occur during
+// reception and processing of commands").
+func FaultResilience(seed int64, samples int, rates []float64) ([]FaultPoint, error) {
+	if samples == 0 {
+		samples = 32
+	}
+	if len(rates) == 0 {
+		rates = []float64{0, 0.01, 0.05, 0.1, 0.2}
+	}
+	var out []FaultPoint
+	for _, p := range rates {
+		res, _, err := RunOne(core.Config{
+			Experiment:   fmt.Sprintf("faults_%g", p),
+			BatchSize:    4,
+			TotalSamples: samples,
+		}, RunOptions{Seed: seed, Faults: sim.FaultPlan{PReceive: p}})
+		pt := FaultPoint{PReceive: p, Completed: err == nil}
+		if res != nil {
+			pt.Samples = len(res.Samples)
+			pt.CCWH = res.Metrics.CCWH
+			pt.Failed = res.Metrics.FailedCommands
+			for _, e := range res.Events {
+				if e.Kind == wei.EvCommandSent && e.Attempt > 1 {
+					pt.Retries++
+				}
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderFaultResilience writes the sweep.
+func RenderFaultResilience(w io.Writer, pts []FaultPoint) {
+	fmt.Fprintln(w, "Command-fault resilience — receive-fault probability sweep")
+	fmt.Fprintln(w)
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.PReceive),
+			fmt.Sprintf("%v", p.Completed),
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%d", p.CCWH),
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%d", p.Failed),
+		})
+	}
+	report.Table(w, []string{"P(fault)", "Completed", "Samples", "CCWH", "Retries", "Failed cmds"}, rows)
+}

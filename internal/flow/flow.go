@@ -1,0 +1,213 @@
+// Package flow reimplements the role Globus automation flows play in the
+// paper: asynchronous, retried, multi-step data automation ("The
+// publication step engages a Globus flow to publish data to the ALCF
+// Community Data Co-Op (ACDC) data portal"). A Flow is an ordered list of
+// named steps; a Runner executes submitted flow runs in the background and
+// tracks their lifecycle, so the robotic loop never blocks on publication.
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// Input is the payload passed through a flow's steps; each step receives the
+// previous step's output.
+type Input = map[string]any
+
+// StepFunc performs one flow step.
+type StepFunc func(ctx context.Context, in Input) (Input, error)
+
+// Step is one named, retryable stage of a flow.
+type Step struct {
+	Name    string
+	Run     StepFunc
+	Retries int // additional attempts after the first (default 0)
+}
+
+// Flow is a reusable definition, analogous to a registered Globus flow.
+type Flow struct {
+	Name  string
+	Steps []Step
+}
+
+// State is a run's lifecycle phase.
+type State string
+
+// Run states.
+const (
+	StatePending   State = "pending"
+	StateActive    State = "active"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+)
+
+// Run is one submitted execution of a flow.
+type Run struct {
+	ID   string
+	Flow string
+
+	mu      sync.Mutex
+	state   State
+	started time.Time
+	ended   time.Time
+	output  Input
+	err     error
+	stepLog []StepResult
+	done    chan struct{}
+}
+
+// StepResult records one step's outcome within a run.
+type StepResult struct {
+	Name     string
+	Attempts int
+	Err      string
+}
+
+// State returns the run's current state.
+func (r *Run) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Done returns a channel closed when the run finishes.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the run finishes and returns its output or error.
+func (r *Run) Wait() (Input, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.output, r.err
+}
+
+// Steps returns the per-step results so far.
+func (r *Run) Steps() []StepResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StepResult, len(r.stepLog))
+	copy(out, r.stepLog)
+	return out
+}
+
+// Times returns the run's start and end timestamps (zero until set).
+func (r *Run) Times() (start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started, r.ended
+}
+
+// ErrStepExhausted reports a step that failed all its attempts.
+var ErrStepExhausted = errors.New("flow: step failed after retries")
+
+// Runner executes flow runs asynchronously.
+type Runner struct {
+	clock sim.Clock
+
+	mu   sync.Mutex
+	runs []*Run
+	seq  int
+	wg   sync.WaitGroup
+}
+
+// NewRunner returns a runner stamping run times from clock.
+func NewRunner(clock sim.Clock) *Runner {
+	return &Runner{clock: clock}
+}
+
+// Submit starts an asynchronous run of flow with the given input.
+func (r *Runner) Submit(ctx context.Context, f *Flow, in Input) *Run {
+	r.mu.Lock()
+	r.seq++
+	run := &Run{
+		ID:    fmt.Sprintf("flow-%s-%04d", f.Name, r.seq),
+		Flow:  f.Name,
+		state: StatePending,
+		done:  make(chan struct{}),
+	}
+	r.runs = append(r.runs, run)
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.execute(ctx, f, run, in)
+	}()
+	return run
+}
+
+// Runs returns all submitted runs, oldest first.
+func (r *Runner) Runs() []*Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Run, len(r.runs))
+	copy(out, r.runs)
+	return out
+}
+
+// WaitAll blocks until every submitted run has finished.
+func (r *Runner) WaitAll() {
+	r.wg.Wait()
+}
+
+// Counts returns the number of runs by state.
+func (r *Runner) Counts() map[State]int {
+	out := map[State]int{}
+	for _, run := range r.Runs() {
+		out[run.State()]++
+	}
+	return out
+}
+
+func (r *Runner) execute(ctx context.Context, f *Flow, run *Run, in Input) {
+	run.mu.Lock()
+	run.state = StateActive
+	run.started = r.clock.Now()
+	run.mu.Unlock()
+
+	payload := in
+	var failure error
+	for _, step := range f.Steps {
+		attempts := 0
+		var stepErr error
+		for attempts <= step.Retries {
+			attempts++
+			out, err := step.Run(ctx, payload)
+			if err == nil {
+				payload = out
+				stepErr = nil
+				break
+			}
+			stepErr = err
+		}
+		run.mu.Lock()
+		sr := StepResult{Name: step.Name, Attempts: attempts}
+		if stepErr != nil {
+			sr.Err = stepErr.Error()
+		}
+		run.stepLog = append(run.stepLog, sr)
+		run.mu.Unlock()
+		if stepErr != nil {
+			failure = fmt.Errorf("%w: %s.%s: %v", ErrStepExhausted, f.Name, step.Name, stepErr)
+			break
+		}
+	}
+
+	run.mu.Lock()
+	run.ended = r.clock.Now()
+	if failure != nil {
+		run.state = StateFailed
+		run.err = failure
+	} else {
+		run.state = StateSucceeded
+		run.output = payload
+	}
+	run.mu.Unlock()
+	close(run.done)
+}

@@ -1,0 +1,181 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"colormatch/internal/portal"
+	"colormatch/internal/sim"
+)
+
+func TestFlowRunsStepsInOrder(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	f := &Flow{Name: "seq", Steps: []Step{
+		{Name: "a", Run: func(ctx context.Context, in Input) (Input, error) {
+			return Input{"v": in["v"].(int) + 1}, nil
+		}},
+		{Name: "b", Run: func(ctx context.Context, in Input) (Input, error) {
+			return Input{"v": in["v"].(int) * 10}, nil
+		}},
+	}}
+	run := r.Submit(context.Background(), f, Input{"v": 1})
+	out, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["v"] != 20 {
+		t.Fatalf("output = %v", out)
+	}
+	if run.State() != StateSucceeded {
+		t.Fatalf("state = %v", run.State())
+	}
+	start, end := run.Times()
+	if start.IsZero() || end.Before(start) {
+		t.Fatalf("times: %v %v", start, end)
+	}
+}
+
+func TestFlowRetriesThenSucceeds(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	var calls atomic.Int32
+	f := &Flow{Name: "retry", Steps: []Step{
+		{Name: "flaky", Retries: 3, Run: func(ctx context.Context, in Input) (Input, error) {
+			if calls.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return Input{"ok": true}, nil
+		}},
+	}}
+	run := r.Submit(context.Background(), f, nil)
+	out, err := run.Wait()
+	if err != nil || out["ok"] != true {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	steps := run.Steps()
+	if len(steps) != 1 || steps[0].Attempts != 3 {
+		t.Fatalf("steps = %+v", steps)
+	}
+}
+
+func TestFlowFailsAfterRetries(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	f := &Flow{Name: "fail", Steps: []Step{
+		{Name: "bad", Retries: 1, Run: func(ctx context.Context, in Input) (Input, error) {
+			return nil, errors.New("permanent")
+		}},
+		{Name: "never", Run: func(ctx context.Context, in Input) (Input, error) {
+			t.Error("step after failure ran")
+			return in, nil
+		}},
+	}}
+	run := r.Submit(context.Background(), f, nil)
+	_, err := run.Wait()
+	if !errors.Is(err, ErrStepExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if run.State() != StateFailed {
+		t.Fatalf("state = %v", run.State())
+	}
+	if steps := run.Steps(); len(steps) != 1 || steps[0].Attempts != 2 || steps[0].Err == "" {
+		t.Fatalf("steps = %+v", steps)
+	}
+}
+
+func TestRunnerTracksManyRuns(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	f := &Flow{Name: "n", Steps: []Step{
+		{Name: "s", Run: func(ctx context.Context, in Input) (Input, error) { return in, nil }},
+	}}
+	for i := 0; i < 20; i++ {
+		r.Submit(context.Background(), f, Input{"i": i})
+	}
+	r.WaitAll()
+	runs := r.Runs()
+	if len(runs) != 20 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	counts := r.Counts()
+	if counts[StateSucceeded] != 20 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// IDs unique.
+	seen := map[string]bool{}
+	for _, run := range runs {
+		if seen[run.ID] {
+			t.Fatalf("duplicate run id %s", run.ID)
+		}
+		seen[run.ID] = true
+	}
+}
+
+func TestPublishColorPickerFlow(t *testing.T) {
+	store := portal.NewStore()
+	f := PublishColorPicker(store)
+	r := NewRunner(sim.NewSimClock())
+	rec := portal.Record{
+		Experiment: "pubtest",
+		Run:        1,
+		Fields:     map[string]any{"best_score": 5.0},
+		Files:      map[string][]byte{"plate.png": []byte("png")},
+	}
+	run := r.Submit(context.Background(), f, Input{"record": rec})
+	out, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := out["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in output: %v", out)
+	}
+	got, err := store.Get(id)
+	if err != nil || got.Experiment != "pubtest" {
+		t.Fatalf("stored = %+v, %v", got, err)
+	}
+}
+
+func TestPublishColorPickerValidation(t *testing.T) {
+	store := portal.NewStore()
+	f := PublishColorPicker(store)
+	r := NewRunner(sim.NewSimClock())
+	// Missing record.
+	if _, err := r.Submit(context.Background(), f, Input{}).Wait(); err == nil {
+		t.Fatal("missing record accepted")
+	}
+	// Record without experiment.
+	if _, err := r.Submit(context.Background(), f, Input{"record": portal.Record{}}).Wait(); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if store.Len() != 0 {
+		t.Fatal("invalid records ingested")
+	}
+}
+
+func TestPublishRetriesFlakyPortal(t *testing.T) {
+	flaky := &flakyIngestor{failFirst: 2, store: portal.NewStore()}
+	f := PublishColorPicker(flaky)
+	r := NewRunner(sim.NewSimClock())
+	run := r.Submit(context.Background(), f, Input{"record": portal.Record{Experiment: "x"}})
+	if _, err := run.Wait(); err != nil {
+		t.Fatalf("publish did not survive flaky portal: %v", err)
+	}
+	if flaky.store.Len() != 1 {
+		t.Fatal("record not ingested after retries")
+	}
+}
+
+type flakyIngestor struct {
+	failFirst int
+	calls     int
+	store     *portal.Store
+}
+
+func (f *flakyIngestor) Ingest(rec portal.Record) (string, error) {
+	f.calls++
+	if f.calls <= f.failFirst {
+		return "", fmt.Errorf("portal unavailable (call %d)", f.calls)
+	}
+	return f.store.Ingest(rec)
+}

@@ -1,0 +1,45 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+
+	"colormatch/internal/portal"
+)
+
+// PublishColorPicker builds the paper's "PublishColorPickerRPL" flow: gather
+// the record, validate it, and ingest it into the data portal. The ingest
+// step retries, since the portal is a remote service in the distributed
+// deployment.
+func PublishColorPicker(dest portal.Ingestor) *Flow {
+	return &Flow{
+		Name: "PublishColorPickerRPL",
+		Steps: []Step{
+			{
+				Name: "gather",
+				Run: func(ctx context.Context, in Input) (Input, error) {
+					rec, ok := in["record"].(portal.Record)
+					if !ok {
+						return nil, fmt.Errorf("publish: input has no record")
+					}
+					if rec.Experiment == "" {
+						return nil, fmt.Errorf("publish: record missing experiment")
+					}
+					return Input{"record": rec}, nil
+				},
+			},
+			{
+				Name:    "ingest",
+				Retries: 2,
+				Run: func(ctx context.Context, in Input) (Input, error) {
+					rec := in["record"].(portal.Record)
+					id, err := dest.Ingest(rec)
+					if err != nil {
+						return nil, err
+					}
+					return Input{"id": id}, nil
+				},
+			},
+		},
+	}
+}

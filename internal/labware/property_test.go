@@ -1,0 +1,59 @@
+package labware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPlateVolumeConservationProperty: the sum of liquid across all wells
+// equals the sum of all successful dispenses, regardless of the order,
+// addresses, or overflow rejections.
+func TestPlateVolumeConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPlate("prop")
+		dispensed := 0.0
+		for _, op := range ops {
+			idx := int(op) % PlateWells
+			vol := float64(op%97) + 1 // 1..97 µL per dye
+			vols := []float64{vol, vol / 2, vol / 3, vol / 4}
+			total := vol + vol/2 + vol/3 + vol/4
+			if err := p.Dispense(WellAt(idx), vols); err == nil {
+				dispensed += total
+			}
+		}
+		held := 0.0
+		for i := 0; i < PlateWells; i++ {
+			for _, v := range p.Contents(WellAt(i)) {
+				held += v
+			}
+		}
+		return math.Abs(held-dispensed) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlateNoWellExceedsCapacityProperty: whatever the dispense sequence,
+// no well ever holds more than its capacity.
+func TestPlateNoWellExceedsCapacityProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPlate("cap")
+		for _, op := range ops {
+			idx := int(op) % PlateWells
+			vol := float64(op % 200)
+			_ = p.Dispense(WellAt(idx), []float64{vol, vol, 0, 0})
+		}
+		for i := 0; i < PlateWells; i++ {
+			w := Well{Volumes: p.Contents(WellAt(i))}
+			if w.Total() > WellCapacityUL+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics computes the paper's proposed self-driving-lab metrics
+// (§4, Table 1) from an experiment's event log:
+//
+//   - TWH  — time without human input: "the longest time that an experiment
+//     ran without human intervention"
+//   - CCWH — commands completed without human input: "the number of commands
+//     sent and successfully executed by the instruments ... without human
+//     intervention"
+//   - time per color, and its synthesis/transfer decomposition: "we can also
+//     divide the total run time into synthesis time, that used specifically
+//     to mix colors, and transfer time, that used to move samples between
+//     instruments"
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"colormatch/internal/wei"
+)
+
+// RoboticModuleTypes identifies which module names count as robotic
+// instruments for the CCWH metric. The camera and compute/publish steps are
+// excluded, matching the paper's count of "distinct robotic actions".
+var roboticModules = map[string]bool{
+	"sciclops": true,
+	"pf400":    true,
+	"barty":    true,
+}
+
+// isRobotic reports whether a module counts as a robotic instrument. Any
+// number of liquid handlers (ot2, ot2_b, ...) count.
+func isRobotic(module string) bool {
+	if roboticModules[module] {
+		return true
+	}
+	return len(module) >= 3 && module[:3] == "ot2"
+}
+
+// Summary is the computed metric set for one experiment.
+type Summary struct {
+	// TWH is the longest stretch of the experiment without human input.
+	TWH time.Duration
+	// Wall is the full experiment duration (first to last event).
+	Wall time.Duration
+	// CCWH counts completed robotic commands in the longest
+	// without-humans stretch.
+	CCWH int
+	// CompletedCommands counts all completed commands (incl. camera).
+	CompletedCommands int
+	// FailedCommands counts command attempts that failed.
+	FailedCommands int
+	// SynthesisTime sums liquid-handler command durations.
+	SynthesisTime time.Duration
+	// TransferTime sums manipulator command durations.
+	TransferTime time.Duration
+	// TotalColors is the number of color samples produced.
+	TotalColors int
+	// TimePerColor is Wall / TotalColors.
+	TimePerColor time.Duration
+	// Uploads counts publish events; MeanUploadInterval is the average
+	// spacing between them.
+	Uploads            int
+	MeanUploadInterval time.Duration
+}
+
+// Compute derives a Summary from an event log. totalColors is supplied by
+// the application (number of samples created and measured).
+func Compute(events []wei.Event, totalColors int) Summary {
+	var s Summary
+	s.TotalColors = totalColors
+	if len(events) == 0 {
+		return s
+	}
+	start := events[0].Time
+	end := events[len(events)-1].Time
+	s.Wall = end.Sub(start)
+
+	// Split the timeline at human-input events; measure each stretch.
+	stretchStart := start
+	bestStretch := time.Duration(0)
+	bestRange := [2]time.Time{start, end}
+	for _, e := range events {
+		if e.Kind == wei.EvHumanInput {
+			if d := e.Time.Sub(stretchStart); d > bestStretch {
+				bestStretch = d
+				bestRange = [2]time.Time{stretchStart, e.Time}
+			}
+			stretchStart = e.Time
+		}
+	}
+	if d := end.Sub(stretchStart); d > bestStretch {
+		bestStretch = d
+		bestRange = [2]time.Time{stretchStart, end}
+	}
+	s.TWH = bestStretch
+
+	var uploadTimes []time.Time
+	for _, e := range events {
+		switch e.Kind {
+		case wei.EvCommandDone:
+			s.CompletedCommands++
+			inStretch := !e.Time.Before(bestRange[0]) && !e.Time.After(bestRange[1])
+			if inStretch && isRobotic(e.Module) {
+				s.CCWH++
+			}
+			switch {
+			case e.Module == "pf400":
+				s.TransferTime += e.Duration
+			case len(e.Module) >= 3 && e.Module[:3] == "ot2":
+				s.SynthesisTime += e.Duration
+			}
+		case wei.EvCommandFailed:
+			s.FailedCommands++
+		case wei.EvPublish:
+			s.Uploads++
+			uploadTimes = append(uploadTimes, e.Time)
+		}
+	}
+	if totalColors > 0 {
+		s.TimePerColor = s.Wall / time.Duration(totalColors)
+	}
+	if len(uploadTimes) > 1 {
+		span := uploadTimes[len(uploadTimes)-1].Sub(uploadTimes[0])
+		s.MeanUploadInterval = span / time.Duration(len(uploadTimes)-1)
+	}
+	return s
+}
+
+// fmtDur renders a duration in the paper's "8 hours 12 mins" style.
+func fmtDur(d time.Duration) string {
+	d = d.Round(time.Minute)
+	h := int(d.Hours())
+	m := int(d.Minutes()) - 60*h
+	switch {
+	case h > 0:
+		return fmt.Sprintf("%d hours %d mins", h, m)
+	default:
+		return fmt.Sprintf("%d mins", m)
+	}
+}
+
+// RenderTable1 writes the summary as the paper's Table 1: "Proposed metrics
+// for self-driving labs and our best results for a color picker batch size
+// of 1."
+func RenderTable1(w io.Writer, s Summary) {
+	fmt.Fprintf(w, "%-42s %s\n", "Metric", "Value")
+	fmt.Fprintf(w, "%-42s %s\n", "Time without humans", fmtDur(s.TWH))
+	fmt.Fprintf(w, "%-42s %d\n", "Completed commands without humans", s.CCWH)
+	fmt.Fprintf(w, "%-42s %s\n", "Synthesis time", fmtDur(s.SynthesisTime))
+	fmt.Fprintf(w, "%-42s %s\n", "Transfer time", fmtDur(s.TransferTime))
+	fmt.Fprintf(w, "%-42s %d\n", "Total colors mixed", s.TotalColors)
+	fmt.Fprintf(w, "%-42s %s\n", "Time per color", fmtDur(s.TimePerColor))
+}

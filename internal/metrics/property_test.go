@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// TestMetricsInvariantsProperty: for arbitrary well-formed event sequences,
+// TWH never exceeds the wall-clock span and CCWH never exceeds the total
+// completed-command count.
+func TestMetricsInvariantsProperty(t *testing.T) {
+	modules := []string{"pf400", "ot2", "camera", "barty", "sciclops"}
+	kinds := []wei.EventKind{
+		wei.EvCommandDone, wei.EvCommandFailed, wei.EvPublish,
+		wei.EvHumanInput, wei.EvNote, wei.EvStepStart, wei.EvStepEnd,
+	}
+	f := func(choices []uint16) bool {
+		var events []wei.Event
+		at := time.Duration(0)
+		for _, c := range choices {
+			at += time.Duration(c%240) * time.Second
+			events = append(events, wei.Event{
+				Time:     sim.Epoch.Add(at),
+				Kind:     kinds[int(c)%len(kinds)],
+				Module:   modules[int(c/7)%len(modules)],
+				Duration: time.Duration(c%120) * time.Second,
+			})
+		}
+		s := Compute(events, len(choices)/3)
+		if s.TWH > s.Wall {
+			return false
+		}
+		if s.CCWH > s.CompletedCommands {
+			return false
+		}
+		if s.SynthesisTime < 0 || s.TransferTime < 0 {
+			return false
+		}
+		if s.Uploads < 0 || (s.Uploads > 1 && s.MeanUploadInterval < 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

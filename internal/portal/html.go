@@ -1,0 +1,65 @@
+package portal
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// The HTML views reproduce the browsable face of the paper's Figure 3
+// ("Two views of a Globus Search portal"): an index of experiments with
+// their summaries, and a per-record detail page. They are intentionally
+// plain — tables over a light stylesheet — since the comparison target is
+// the information shown, not the styling.
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Color Picker Data Portal</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 0.3rem 0.8rem; text-align: left; }
+th { background: #eee; }
+</style></head>
+<body>
+<h1>Color Picker Data Portal</h1>
+<p>{{.Records}} records across {{len .Summaries}} experiment(s).</p>
+<table>
+<tr><th>Experiment</th><th>Runs</th><th>Samples</th><th>Images</th><th>Best score</th><th>First</th><th>Last</th></tr>
+{{range .Summaries}}
+<tr>
+  <td><a href="/search?experiment={{.Experiment}}">{{.Experiment}}</a></td>
+  <td>{{.Runs}}</td><td>{{.Samples}}</td><td>{{.Images}}</td>
+  <td>{{printf "%.2f" .BestScore}}</td>
+  <td>{{.First.Format "2006-01-02 15:04"}}</td>
+  <td>{{.Last.Format "2006-01-02 15:04"}}</td>
+</tr>
+{{end}}
+</table>
+</body></html>
+`))
+
+type indexData struct {
+	Records   int
+	Summaries []Summary
+}
+
+// serveIndex renders the HTML index of experiments.
+func serveIndex(store *Store, w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	data := indexData{Records: store.Len()}
+	for _, name := range store.Experiments() {
+		sum, err := store.Summarize(name)
+		if err != nil {
+			continue
+		}
+		data.Summaries = append(data.Summaries, sum)
+	}
+	sort.Slice(data.Summaries, func(i, j int) bool {
+		return data.Summaries[i].Experiment < data.Summaries[j].Experiment
+	})
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, data)
+}

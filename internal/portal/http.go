@@ -1,0 +1,273 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP wire protocol:
+//   POST /ingest                      wireRecord -> {"id": ...}
+//   GET  /records/<id>                wireRecord
+//   GET  /search?experiment=&run=&limit=   [wireRecord] (files as sizes)
+//   GET  /experiments                 [names]
+//   GET  /experiments/<name>/summary  Summary
+//   GET  /healthz                     {"ok": true}
+
+// wireRecord is the JSON form of a Record; attachments travel base64-encoded.
+type wireRecord struct {
+	ID         string            `json:"id,omitempty"`
+	Experiment string            `json:"experiment"`
+	Run        int               `json:"run"`
+	Time       time.Time         `json:"time"`
+	Fields     map[string]any    `json:"fields,omitempty"`
+	Files      map[string]string `json:"files,omitempty"`      // name -> base64
+	FileSizes  map[string]int    `json:"file_sizes,omitempty"` // search results only
+}
+
+func toWire(r Record, withFiles bool) wireRecord {
+	w := wireRecord{ID: r.ID, Experiment: r.Experiment, Run: r.Run, Time: r.Time, Fields: r.Fields}
+	if withFiles {
+		if len(r.Files) > 0 {
+			w.Files = make(map[string]string, len(r.Files))
+			for name, data := range r.Files {
+				w.Files[name] = base64.StdEncoding.EncodeToString(data)
+			}
+		}
+	} else if len(r.Files) > 0 {
+		w.FileSizes = r.FileSizes()
+	}
+	return w
+}
+
+func fromWire(w wireRecord) (Record, error) {
+	r := Record{ID: w.ID, Experiment: w.Experiment, Run: w.Run, Time: w.Time, Fields: w.Fields}
+	if len(w.Files) > 0 {
+		r.Files = make(map[string][]byte, len(w.Files))
+		for name, b64 := range w.Files {
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return Record{}, fmt.Errorf("portal: file %q: %w", name, err)
+			}
+			r.Files[name] = data
+		}
+	}
+	return r, nil
+}
+
+// Serve returns the portal's HTTP handler backed by store.
+func Serve(store *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var wr wireRecord
+		if err := json.NewDecoder(req.Body).Decode(&wr); err != nil {
+			http.Error(w, "bad record: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, err := fromWire(wr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := store.Ingest(rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"id": id})
+	})
+	mux.HandleFunc("/records/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/records/")
+		rec, err := store.Get(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, toWire(rec, true))
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, req *http.Request) {
+		q := Query{Experiment: req.URL.Query().Get("experiment")}
+		if runStr := req.URL.Query().Get("run"); runStr != "" {
+			run, err := strconv.Atoi(runStr)
+			if err != nil {
+				http.Error(w, "bad run", http.StatusBadRequest)
+				return
+			}
+			q.Run, q.HasRun = run, true
+		}
+		if limStr := req.URL.Query().Get("limit"); limStr != "" {
+			lim, err := strconv.Atoi(limStr)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			q.Limit = lim
+		}
+		recs := store.Search(q)
+		out := make([]wireRecord, len(recs))
+		for i, r := range recs {
+			out[i] = toWire(r, false)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/experiments", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, store.Experiments())
+	})
+	mux.HandleFunc("/experiments/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/experiments/")
+		name, ok := strings.CutSuffix(rest, "/summary")
+		if !ok {
+			http.Error(w, "unknown endpoint", http.StatusNotFound)
+			return
+		}
+		sum, err := store.Summarize(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sum)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "records": store.Len()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		serveIndex(store, w, req)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client publishes to and queries a remote portal over HTTP. It implements
+// Ingestor.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a portal client.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Ingest implements Ingestor over HTTP.
+func (c *Client) Ingest(rec Record) (string, error) {
+	body, err := json.Marshal(toWire(rec, true))
+	if err != nil {
+		return "", fmt.Errorf("portal: encode record: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("portal: ingest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return "", fmt.Errorf("portal: ingest: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("portal: decode ingest response: %w", err)
+	}
+	return out.ID, nil
+}
+
+// Summary fetches an experiment summary.
+func (c *Client) Summary(experiment string) (Summary, error) {
+	var sum Summary
+	err := c.getJSON("/experiments/"+experiment+"/summary", &sum)
+	return sum, err
+}
+
+// Search queries records (attachments reported as sizes only).
+func (c *Client) Search(experiment string, limit int) ([]Record, error) {
+	url := "/search?experiment=" + experiment
+	if limit > 0 {
+		url += fmt.Sprintf("&limit=%d", limit)
+	}
+	var wires []wireRecord
+	if err := c.getJSON(url, &wires); err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(wires))
+	for i, w := range wires {
+		rec, err := fromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// Get fetches one full record including attachments.
+func (c *Client) Get(id string) (Record, error) {
+	var w wireRecord
+	if err := c.getJSON("/records/"+id, &w); err != nil {
+		return Record{}, err
+	}
+	return fromWire(w)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("portal: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("portal: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// RenderSummary writes the Figure 3 "summary view" as text.
+func RenderSummary(w io.Writer, sum Summary) {
+	fmt.Fprintf(w, "Experiment: %s\n", sum.Experiment)
+	fmt.Fprintf(w, "  Runs:     %d\n", sum.Runs)
+	fmt.Fprintf(w, "  Records:  %d\n", sum.Records)
+	fmt.Fprintf(w, "  Samples:  %d\n", sum.Samples)
+	fmt.Fprintf(w, "  Images:   %d\n", sum.Images)
+	fmt.Fprintf(w, "  Best score: %.2f\n", sum.BestScore)
+	fmt.Fprintf(w, "  Window:   %s .. %s\n",
+		sum.First.Format(time.RFC3339), sum.Last.Format(time.RFC3339))
+}
+
+// RenderRecord writes the Figure 3 "detailed data from run" view as text.
+func RenderRecord(w io.Writer, rec Record) {
+	fmt.Fprintf(w, "Record %s (experiment %s, run #%d, %s)\n",
+		rec.ID, rec.Experiment, rec.Run, rec.Time.Format(time.RFC3339))
+	keys := make([]string, 0, len(rec.Fields))
+	for k := range rec.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-18s %v\n", k+":", rec.Fields[k])
+	}
+	names := make([]string, 0, len(rec.Files))
+	for name := range rec.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  file %-13s %d bytes\n", name, len(rec.Files[name]))
+	}
+}

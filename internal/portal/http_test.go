@@ -1,0 +1,107 @@
+package portal
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newPortalFixture(t *testing.T) (*Client, *Store) {
+	t.Helper()
+	store := NewStore()
+	srv := httptest.NewServer(Serve(store))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), store
+}
+
+func TestHTTPIngestAndGetWithFiles(t *testing.T) {
+	c, store := newPortalFixture(t)
+	img := []byte{0x89, 'P', 'N', 'G', 0, 1, 2, 3}
+	id, err := c.Ingest(Record{
+		Experiment: "http_exp",
+		Run:        1,
+		Time:       time.Date(2023, 8, 16, 10, 0, 0, 0, time.UTC),
+		Fields:     map[string]any{"best_score": 12.5},
+		Files:      map[string][]byte{"plate.png": img},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatal("record not stored")
+	}
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "http_exp" || got.Fields["best_score"] != 12.5 {
+		t.Fatalf("got %+v", got)
+	}
+	if string(got.Files["plate.png"]) != string(img) {
+		t.Fatal("attachment corrupted over HTTP")
+	}
+}
+
+func TestHTTPSearchOmitsFileBodies(t *testing.T) {
+	c, _ := newPortalFixture(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Ingest(Record{
+			Experiment: "s",
+			Run:        i,
+			Time:       time.Now(),
+			Files:      map[string][]byte{"plate.png": make([]byte, 1000)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := c.Search("s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("search returned %d", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Files) != 0 {
+			t.Fatal("search leaked file bodies")
+		}
+	}
+}
+
+func TestHTTPSummary(t *testing.T) {
+	c, _ := newPortalFixture(t)
+	for run := 1; run <= 3; run++ {
+		c.Ingest(Record{
+			Experiment: "sumexp",
+			Run:        run,
+			Time:       time.Now(),
+			Fields:     map[string]any{"samples": 15, "best_score": 20.0 - float64(run)},
+		})
+	}
+	sum, err := c.Summary("sumexp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 3 || sum.Samples != 45 || sum.BestScore != 17 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if _, err := c.Summary("ghost"); err == nil {
+		t.Fatal("missing summary fetched")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newPortalFixture(t)
+	if _, err := c.Ingest(Record{}); err == nil {
+		t.Fatal("invalid record ingested")
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Fatal("missing record fetched")
+	}
+	srv := httptest.NewServer(Serve(NewStore()))
+	srv.Close()
+	dead := NewClient(srv.URL)
+	if _, err := dead.Ingest(Record{Experiment: "x"}); err == nil {
+		t.Fatal("ingest to dead server succeeded")
+	}
+}

@@ -1,0 +1,216 @@
+// Package portal reimplements the role of the ALCF Community Data Co-Op
+// (ACDC) portal in the paper's pipeline: a searchable store that the
+// color-picker application publishes each run's data to — "the colors
+// produced, the timing of each step, the scoring results from the solver,
+// and the raw plate images for quality control" — with the summary and
+// per-run detail views shown in the paper's Figure 3.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one published dataset (one iteration/run of the application).
+type Record struct {
+	ID         string         `json:"id"`
+	Experiment string         `json:"experiment"`
+	Run        int            `json:"run"`
+	Time       time.Time      `json:"time"`
+	Fields     map[string]any `json:"fields,omitempty"`
+	// Files holds named binary attachments (e.g. the raw plate image).
+	// Search results report only their sizes.
+	Files map[string][]byte `json:"-"`
+}
+
+// FileSizes summarizes attachments for display.
+func (r Record) FileSizes() map[string]int {
+	out := make(map[string]int, len(r.Files))
+	for name, data := range r.Files {
+		out[name] = len(data)
+	}
+	return out
+}
+
+// Ingestor accepts published records; both the in-process Store and the
+// HTTP client implement it, so the publish flow is transport-agnostic.
+type Ingestor interface {
+	Ingest(rec Record) (id string, err error)
+}
+
+// ErrNotFound reports a lookup of a nonexistent record.
+var ErrNotFound = errors.New("portal: record not found")
+
+// Store is the in-memory searchable record store.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+	byID    map[string]int
+	seq     int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]int)}
+}
+
+// Ingest implements Ingestor, assigning an ID when absent.
+func (s *Store) Ingest(rec Record) (string, error) {
+	if rec.Experiment == "" {
+		return "", fmt.Errorf("portal: record missing experiment name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.ID == "" {
+		s.seq++
+		rec.ID = fmt.Sprintf("rec-%06d", s.seq)
+	}
+	if _, dup := s.byID[rec.ID]; dup {
+		return "", fmt.Errorf("portal: duplicate record id %q", rec.ID)
+	}
+	s.byID[rec.ID] = len(s.records)
+	s.records = append(s.records, rec)
+	return rec.ID, nil
+}
+
+// Get returns the record with the given ID.
+func (s *Store) Get(id string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.byID[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.records[i], nil
+}
+
+// Len returns the number of records stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Query filters records. Zero values mean "any".
+type Query struct {
+	Experiment string
+	Run        int  // match a specific run number; 0 = any
+	HasRun     bool // set true to filter by Run (Run 0 is legal)
+	After      time.Time
+	Before     time.Time
+	Limit      int
+}
+
+// Search returns matching records, oldest first.
+func (s *Store) Search(q Query) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		if q.Experiment != "" && r.Experiment != q.Experiment {
+			continue
+		}
+		if q.HasRun && r.Run != q.Run {
+			continue
+		}
+		if !q.After.IsZero() && r.Time.Before(q.After) {
+			continue
+		}
+		if !q.Before.IsZero() && !r.Time.Before(q.Before) {
+			continue
+		}
+		out = append(out, r)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Experiments lists distinct experiment names, sorted.
+func (s *Store) Experiments() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, r := range s.records {
+		set[r.Experiment] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary aggregates an experiment for the portal's summary view (the
+// paper's Figure 3 left panel: "12 runs each with 15 samples, for a total
+// of 180 experiments").
+type Summary struct {
+	Experiment string    `json:"experiment"`
+	Runs       int       `json:"runs"`
+	Records    int       `json:"records"`
+	Samples    int       `json:"samples"`
+	Images     int       `json:"images"`
+	BestScore  float64   `json:"best_score"`
+	First      time.Time `json:"first"`
+	Last       time.Time `json:"last"`
+}
+
+// Summarize builds the summary view of one experiment.
+func (s *Store) Summarize(experiment string) (Summary, error) {
+	recs := s.Search(Query{Experiment: experiment})
+	if len(recs) == 0 {
+		return Summary{}, fmt.Errorf("%w: experiment %q", ErrNotFound, experiment)
+	}
+	sum := Summary{Experiment: experiment, Records: len(recs), BestScore: -1}
+	runs := map[int]bool{}
+	for _, r := range recs {
+		runs[r.Run] = true
+		if sum.First.IsZero() || r.Time.Before(sum.First) {
+			sum.First = r.Time
+		}
+		if r.Time.After(sum.Last) {
+			sum.Last = r.Time
+		}
+		if n, ok := numField(r.Fields, "samples"); ok {
+			sum.Samples += int(n)
+		}
+		if b, ok := numField(r.Fields, "best_score"); ok {
+			if sum.BestScore < 0 || b < sum.BestScore {
+				sum.BestScore = b
+			}
+		}
+		for name := range r.Files {
+			if strings.HasSuffix(name, ".png") {
+				sum.Images++
+			}
+		}
+	}
+	sum.Runs = len(runs)
+	return sum, nil
+}
+
+func numField(fields map[string]any, key string) (float64, bool) {
+	v, ok := fields[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}

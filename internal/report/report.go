@@ -1,0 +1,150 @@
+// Package report renders experiment results as text: aligned tables and
+// ASCII step plots for reproducing the paper's figures in a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes rows with aligned columns.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Series is one labeled line of a plot.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'1', '2', '4', '8', 'a', 'b', 'c', 'd', 'e', 'f'}
+
+// StepPlot renders series as a step plot (each series holds its Y value
+// until the next X), on a width×height character canvas with axis labels.
+// It reproduces the shape of the paper's Figure 4: best-score-so-far curves
+// that drop and plateau.
+func StepPlot(w io.Writer, series []Series, width, height int, xLabel, yLabel string) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		// Row 0 is the top (max Y).
+		r := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := 0; i < len(s.X); i++ {
+			c0 := col(s.X[i])
+			r := row(s.Y[i])
+			c1 := width - 1
+			if i+1 < len(s.X) {
+				c1 = col(s.X[i+1])
+			}
+			for c := c0; c <= c1 && c < width; c++ {
+				canvas[r][c] = mark
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", yLabel)
+	for r, line := range canvas {
+		y := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.1f |%s\n", y, string(line))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%9s%-*.1f%*.1f\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(w, "%9s%s\n", "", center(xLabel, width))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesMarks[si%len(seriesMarks)], s.Label))
+	}
+	fmt.Fprintf(w, "%9s%s\n", "", strings.Join(legend, "  "))
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

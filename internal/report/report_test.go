@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"Name", "Value"}, [][]string{
+		{"short", "1"},
+		{"much longer name", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Separator row matches header width.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// Columns align: "Value" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "Value")
+	if lines[2][off:off+1] != "1" && lines[3][off:] == "" {
+		t.Fatalf("misaligned table:\n%s", buf.String())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"A", "B"}, [][]string{{"1", "2", "extra"}, {"x"}})
+	out := buf.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "x") {
+		t.Fatalf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestStepPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	StepPlot(&buf, []Series{
+		{Label: "B=1", X: []float64{0, 10, 20}, Y: []float64{30, 20, 10}},
+		{Label: "B=2", X: []float64{0, 5, 10}, Y: []float64{25, 22, 21}},
+	}, 40, 10, "minutes", "score")
+	out := buf.String()
+	for _, want := range []string{"score", "minutes", "1=B=1", "2=B=2", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The first series' final value (10) must appear on the bottom row.
+	lines := strings.Split(out, "\n")
+	var bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			bottom = l
+		}
+	}
+	if !strings.Contains(bottom, "1") {
+		t.Fatalf("lowest row lacks series 1:\n%s", out)
+	}
+}
+
+func TestStepPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	StepPlot(&buf, nil, 40, 10, "x", "y")
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty plot output %q", buf.String())
+	}
+}
+
+func TestStepPlotDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: min==max on both axes must not divide by zero.
+	StepPlot(&buf, []Series{{Label: "p", X: []float64{5}, Y: []float64{7}}}, 20, 5, "x", "y")
+	if !strings.Contains(buf.String(), "1=p") {
+		t.Fatalf("degenerate plot:\n%s", buf.String())
+	}
+	// Tiny canvas sizes are clamped.
+	buf.Reset()
+	StepPlot(&buf, []Series{{Label: "p", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1, "x", "y")
+	if buf.Len() == 0 {
+		t.Fatal("clamped plot empty")
+	}
+}

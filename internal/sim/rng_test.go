@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d: %v != %v for same seed", i, x, y)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveIsDeterministicAndLabelSensitive(t *testing.T) {
+	d1 := NewRNG(7).Derive("ot2")
+	d2 := NewRNG(7).Derive("ot2")
+	d3 := NewRNG(7).Derive("camera")
+	x1, x2, x3 := d1.Float64(), d2.Float64(), d3.Float64()
+	if x1 != x2 {
+		t.Fatalf("same label derive differs: %v vs %v", x1, x2)
+	}
+	if x1 == x3 {
+		t.Fatalf("different labels derive identically: %v", x1)
+	}
+}
+
+func TestDeriveInsulatesStreams(t *testing.T) {
+	// Draws on one derived stream must not perturb a sibling derived earlier.
+	root := NewRNG(99)
+	a := root.Derive("a")
+	b := root.Derive("b")
+	want := b.Float64()
+
+	root2 := NewRNG(99)
+	a2 := root2.Derive("a")
+	for i := 0; i < 10; i++ {
+		a2.Float64() // extra draws on a
+	}
+	b2 := root2.Derive("b")
+	if got := b2.Float64(); got != want {
+		t.Fatalf("sibling stream perturbed: %v != %v", got, want)
+	}
+	_ = a
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := g.Jitter(100, 0.1)
+		if v < 90 || v > 110+1e-9 {
+			t.Fatalf("Jitter(100, 0.1) = %v out of [90,110]", v)
+		}
+	}
+	if v := g.Jitter(100, 0); v != 100 {
+		t.Fatalf("Jitter with frac=0 = %v, want 100", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(5)
+	const n = 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("sample mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("sample stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	g := NewRNG(6)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if g.Bool(-0.5) {
+			t.Fatal("Bool(<0) returned true")
+		}
+		if !g.Bool(1.5) {
+			t.Fatal("Bool(>1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	g := NewRNG(7)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("Bool(0.3) frequency %v, want ~0.3", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(8)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGConcurrentUse(t *testing.T) {
+	g := NewRNG(9)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				g.Float64()
+				g.Intn(10)
+				g.NormFloat64()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

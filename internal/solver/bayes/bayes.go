@@ -1,0 +1,186 @@
+package bayes
+
+import (
+	"math"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+)
+
+// Options configure the Bayesian solver.
+type Options struct {
+	// Dim is the number of dyes (default 4).
+	Dim int
+	// Warmup is the number of random samples before the surrogate takes
+	// over (default 2*Dim).
+	Warmup int
+	// Candidates is the size of the random acquisition pool (default 384).
+	Candidates int
+	// LocalCandidates adds perturbations of the incumbent to the random
+	// acquisition pool (default 48), sharpening exploitation near the best
+	// recipe found so far.
+	LocalCandidates int
+	// MaxTrain bounds the GP training-set size; the most recent samples are
+	// kept (default 64, bounding the O(n³) Cholesky).
+	MaxTrain int
+	// MinDistance enforces diversity within one proposed batch (default 0.02).
+	MinDistance float64
+}
+
+func (o *Options) defaults() {
+	if o.Dim == 0 {
+		o.Dim = 4
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2 * o.Dim
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 384
+	}
+	if o.LocalCandidates == 0 {
+		o.LocalCandidates = 48
+	}
+	if o.MaxTrain == 0 {
+		o.MaxTrain = 64
+	}
+	if o.MinDistance == 0 {
+		o.MinDistance = 0.02
+	}
+}
+
+// Solver is the Bayesian-optimization decision procedure.
+type Solver struct {
+	opts Options
+	rng  *sim.RNG
+
+	samples []solver.Sample
+	best    *solver.Sample
+}
+
+// New returns a Bayesian solver seeded by rng.
+func New(rng *sim.RNG, opts Options) *Solver {
+	opts.defaults()
+	return &Solver{opts: opts, rng: rng}
+}
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string { return "bayesian" }
+
+// Best returns the incumbent sample.
+func (s *Solver) Best() (solver.Sample, bool) {
+	if s.best == nil {
+		return solver.Sample{}, false
+	}
+	return *s.best, true
+}
+
+// Propose implements solver.Solver.
+func (s *Solver) Propose(n int) [][]float64 {
+	if len(s.samples) < s.opts.Warmup {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = solver.RandomSimplex(s.rng, s.opts.Dim)
+		}
+		return out
+	}
+
+	gp := &GP{Kernel: Matern52{LengthScale: 0.25, Variance: 1}, Noise: 0.01}
+	train := s.samples
+	if len(train) > s.opts.MaxTrain {
+		train = train[len(train)-s.opts.MaxTrain:]
+	}
+	xs := make([][]float64, len(train))
+	ys := make([]float64, len(train))
+	for i, smp := range train {
+		xs[i] = smp.Ratios
+		ys[i] = smp.Score
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		// Degenerate covariance (e.g. duplicate points): fall back to random.
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = solver.RandomSimplex(s.rng, s.opts.Dim)
+		}
+		return out
+	}
+
+	type cand struct {
+		x  []float64
+		ei float64
+	}
+	pool := make([]cand, 0, s.opts.Candidates+s.opts.LocalCandidates)
+	for i := 0; i < s.opts.Candidates; i++ {
+		pool = append(pool, cand{x: solver.RandomSimplex(s.rng, s.opts.Dim)})
+	}
+	for i := 0; i < s.opts.LocalCandidates && s.best != nil; i++ {
+		pool = append(pool, cand{x: s.perturb(s.best.Ratios)})
+	}
+	bestScore := s.best.Score
+	for i := range pool {
+		mean, std, err := gp.Predict(pool[i].x)
+		if err != nil {
+			continue
+		}
+		pool[i].ei = ExpectedImprovement(mean, std, bestScore)
+	}
+
+	// Greedy diverse selection by EI.
+	out := make([][]float64, 0, n)
+	used := make([]bool, len(pool))
+	for len(out) < n {
+		bestIdx, bestEI := -1, math.Inf(-1)
+		for i, c := range pool {
+			if used[i] {
+				continue
+			}
+			if tooClose(c.x, out, s.opts.MinDistance) {
+				continue
+			}
+			if c.ei > bestEI {
+				bestIdx, bestEI = i, c.ei
+			}
+		}
+		if bestIdx < 0 {
+			out = append(out, solver.RandomSimplex(s.rng, s.opts.Dim))
+			continue
+		}
+		used[bestIdx] = true
+		out = append(out, pool[bestIdx].x)
+	}
+	return out
+}
+
+// Observe implements solver.Solver.
+func (s *Solver) Observe(samples []solver.Sample) {
+	for _, smp := range samples {
+		cp := smp
+		cp.Ratios = append([]float64(nil), smp.Ratios...)
+		s.samples = append(s.samples, cp)
+		if s.best == nil || cp.Score < s.best.Score {
+			b := cp
+			s.best = &b
+		}
+	}
+}
+
+func (s *Solver) perturb(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = x[i] + s.rng.Normal(0, 0.05)
+	}
+	return solver.Normalize(out)
+}
+
+func tooClose(x []float64, chosen [][]float64, minDist float64) bool {
+	for _, c := range chosen {
+		d2 := 0.0
+		for i := range x {
+			d := x[i] - c[i]
+			d2 += d * d
+		}
+		if math.Sqrt(d2) < minDist {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/color/mix"
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+)
+
+func TestGPFitsExactInterpolation(t *testing.T) {
+	gp := &GP{Kernel: RBF{LengthScale: 0.5, Variance: 1}, Noise: 1e-8}
+	x := [][]float64{{0, 0}, {1, 0}, {0, 1}, {0.5, 0.5}}
+	y := []float64{1, 2, 3, 2.5}
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mean, std, err := gp.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-y[i]) > 1e-3 {
+			t.Fatalf("point %d: mean %v, want %v", i, mean, y[i])
+		}
+		if std > 0.05 {
+			t.Fatalf("point %d: std %v at training point", i, std)
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	gp := &GP{Kernel: RBF{LengthScale: 0.2, Variance: 1}, Noise: 1e-6}
+	if err := gp.Fit([][]float64{{0, 0}}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	_, stdNear, _ := gp.Predict([]float64{0.01, 0})
+	_, stdFar, _ := gp.Predict([]float64{2, 2})
+	if stdFar <= stdNear {
+		t.Fatalf("stdFar %v <= stdNear %v", stdFar, stdNear)
+	}
+}
+
+func TestGPPredictBeforeFit(t *testing.T) {
+	gp := &GP{Kernel: RBF{LengthScale: 1, Variance: 1}, Noise: 1e-6}
+	if _, _, err := gp.Predict([]float64{0}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGPFitErrors(t *testing.T) {
+	gp := &GP{Kernel: RBF{LengthScale: 1, Variance: 1}, Noise: 1e-6}
+	if err := gp.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := gp.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched fit accepted")
+	}
+}
+
+func TestGPRecoversSmoothFunction(t *testing.T) {
+	gp := &GP{Kernel: RBF{LengthScale: 0.3, Variance: 1}, Noise: 1e-6}
+	f := func(x float64) float64 { return math.Sin(3*x) + 0.5*x }
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x <= 2.0; x += 0.1 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x))
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.05; x < 2.0; x += 0.2 {
+		mean, _, _ := gp.Predict([]float64{x})
+		if math.Abs(mean-f(x)) > 0.05 {
+			t.Fatalf("at %v: mean %v, want %v", x, mean, f(x))
+		}
+	}
+}
+
+func TestMaternKernelBasics(t *testing.T) {
+	k := Matern52{LengthScale: 0.5, Variance: 2}
+	if v := k.Eval([]float64{1, 2}, []float64{1, 2}); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("self-covariance %v", v)
+	}
+	near := k.Eval([]float64{0, 0}, []float64{0.1, 0})
+	far := k.Eval([]float64{0, 0}, []float64{1, 0})
+	if far >= near {
+		t.Fatalf("kernel not decreasing: %v vs %v", near, far)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// A candidate predicted well below best with confidence has high EI.
+	high := ExpectedImprovement(1, 0.1, 5)
+	low := ExpectedImprovement(5, 0.1, 5)
+	if high <= low {
+		t.Fatalf("EI ordering wrong: %v vs %v", high, low)
+	}
+	// Zero std: EI is exact improvement or zero.
+	if ei := ExpectedImprovement(3, 0, 5); ei != 2 {
+		t.Fatalf("deterministic EI = %v", ei)
+	}
+	if ei := ExpectedImprovement(7, 0, 5); ei != 0 {
+		t.Fatalf("deterministic non-improving EI = %v", ei)
+	}
+	// EI is non-negative.
+	if ei := ExpectedImprovement(10, 2, 5); ei < 0 {
+		t.Fatalf("negative EI %v", ei)
+	}
+}
+
+func TestBayesSolverConverges(t *testing.T) {
+	model := mix.NewModel()
+	target := color.RGB8{R: 120, G: 120, B: 120}
+	s := New(sim.NewRNG(1), Options{})
+	best := 1e9
+	for iter := 0; iter < 16; iter++ {
+		props := s.Propose(8)
+		if len(props) != 8 {
+			t.Fatalf("Propose returned %d", len(props))
+		}
+		var samples []solver.Sample
+		for _, p := range props {
+			if err := solver.ValidateRatios(p, 4); err != nil {
+				t.Fatal(err)
+			}
+			c := mix.IdealSensor().Observe(model.MixFractions(p))
+			smp := solver.Sample{Ratios: p, Color: c, Score: color.EuclideanRGB(c, target)}
+			samples = append(samples, smp)
+			if smp.Score < best {
+				best = smp.Score
+			}
+		}
+		s.Observe(samples)
+	}
+	if best > 20 {
+		t.Fatalf("Bayes best after 128 samples = %.1f", best)
+	}
+	if _, ok := s.Best(); !ok {
+		t.Fatal("no incumbent")
+	}
+}
+
+func TestBayesWarmupIsRandom(t *testing.T) {
+	s := New(sim.NewRNG(2), Options{Warmup: 10})
+	props := s.Propose(5)
+	if len(props) != 5 {
+		t.Fatalf("warmup proposals = %d", len(props))
+	}
+}
+
+func TestBayesBatchDiversity(t *testing.T) {
+	s := New(sim.NewRNG(3), Options{Warmup: 4, MinDistance: 0.05})
+	// Feed warmup data.
+	var samples []solver.Sample
+	for _, p := range s.Propose(6) {
+		samples = append(samples, solver.Sample{Ratios: p, Score: 50})
+	}
+	s.Observe(samples)
+	props := s.Propose(6)
+	for i := 0; i < len(props); i++ {
+		for j := i + 1; j < len(props); j++ {
+			d2 := 0.0
+			for k := range props[i] {
+				d := props[i][k] - props[j][k]
+				d2 += d * d
+			}
+			if math.Sqrt(d2) < 0.01 {
+				t.Fatalf("proposals %d and %d nearly identical", i, j)
+			}
+		}
+	}
+}
+
+func TestBayesDuplicateObservationsDoNotCrash(t *testing.T) {
+	// Identical training points make the covariance singular without noise;
+	// the solver must survive (noise term or random fallback).
+	s := New(sim.NewRNG(4), Options{Warmup: 2})
+	same := []float64{0.25, 0.25, 0.25, 0.25}
+	var samples []solver.Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, solver.Sample{Ratios: same, Score: 10})
+	}
+	s.Observe(samples)
+	props := s.Propose(4)
+	if len(props) != 4 {
+		t.Fatalf("proposals = %d", len(props))
+	}
+	for _, p := range props {
+		if err := solver.ValidateRatios(p, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBayesDeterministicForSeed(t *testing.T) {
+	run := func() [][]float64 {
+		s := New(sim.NewRNG(9), Options{Warmup: 4})
+		var all [][]float64
+		for i := 0; i < 3; i++ {
+			props := s.Propose(4)
+			all = append(all, props...)
+			var samples []solver.Sample
+			for j, p := range props {
+				samples = append(samples, solver.Sample{Ratios: p, Score: float64(20 + j)})
+			}
+			s.Observe(samples)
+		}
+		return all
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("nondeterministic at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package bayes
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+)
+
+// BenchmarkGPFitPredict measures GP training at the solver's cap plus one
+// posterior evaluation.
+func BenchmarkGPFitPredict(b *testing.B) {
+	rng := sim.NewRNG(1)
+	n := 64
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = solver.RandomSimplex(rng, 4)
+		ys[i] = rng.Float64() * 50
+	}
+	q := solver.RandomSimplex(rng, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp := &GP{Kernel: Matern52{LengthScale: 0.3, Variance: 1}, Noise: 1e-3}
+		if err := gp.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := gp.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProposeBatch measures one full acquisition round (fit + EI over
+// the candidate pool + diverse selection).
+func BenchmarkProposeBatch(b *testing.B) {
+	rng := sim.NewRNG(2)
+	s := New(rng, Options{Warmup: 8})
+	var warm []solver.Sample
+	for _, p := range s.Propose(16) {
+		warm = append(warm, solver.Sample{Ratios: p, Score: rng.Float64() * 50})
+	}
+	s.Observe(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Propose(8)
+	}
+}

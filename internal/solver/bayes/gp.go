@@ -1,0 +1,154 @@
+// Package bayes implements the paper's second decision procedure: Bayesian
+// optimization with a Gaussian-process surrogate ("Bayesian optimization
+// leverages a surrogate probabilistic model, commonly Gaussian Processes, to
+// approximate the objective function and iteratively refines this based on
+// evaluations"). The paper builds on scikit-learn; this package implements
+// the GP regression and expected-improvement acquisition from scratch on the
+// repository's linalg kernel.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"colormatch/internal/linalg"
+)
+
+// Kernel is a positive-definite covariance function.
+type Kernel interface {
+	Eval(a, b []float64) float64
+}
+
+// RBF is the squared-exponential kernel.
+type RBF struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+// Matern52 is the Matérn kernel with ν=5/2, a common BO default.
+type Matern52 struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k Matern52) Eval(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	r := math.Sqrt(d2) / k.LengthScale
+	s5 := math.Sqrt(5) * r
+	return k.Variance * (1 + s5 + 5*r*r/3) * math.Exp(-s5)
+}
+
+// GP is a Gaussian-process regressor with fixed hyperparameters and
+// standardized targets.
+type GP struct {
+	Kernel Kernel
+	Noise  float64 // observation noise variance (on standardized targets)
+
+	x     [][]float64
+	chol  *linalg.Matrix
+	alpha []float64
+	meanY float64
+	stdY  float64
+}
+
+// ErrNoData reports prediction before fitting.
+var ErrNoData = errors.New("bayes: gp has no training data")
+
+// Fit trains the GP on inputs X and targets y.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("bayes: bad training set: %d inputs, %d targets", len(x), len(y))
+	}
+	n := len(x)
+	g.x = x
+
+	g.meanY = 0
+	for _, v := range y {
+		g.meanY += v
+	}
+	g.meanY /= float64(n)
+	variance := 0.0
+	for _, v := range y {
+		variance += (v - g.meanY) * (v - g.meanY)
+	}
+	g.stdY = math.Sqrt(variance / float64(n))
+	if g.stdY < 1e-9 {
+		g.stdY = 1
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - g.meanY) / g.stdY
+	}
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.Kernel.Eval(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.Noise)
+	}
+	chol, err := linalg.Cholesky(k)
+	if err != nil {
+		return fmt.Errorf("bayes: %w", err)
+	}
+	g.chol = chol
+	g.alpha = linalg.CholSolve(chol, ys)
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x, in the
+// original target units.
+func (g *GP) Predict(x []float64) (mean, std float64, err error) {
+	if g.chol == nil {
+		return 0, 0, ErrNoData
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := range g.x {
+		kstar[i] = g.Kernel.Eval(x, g.x[i])
+	}
+	mu := linalg.Dot(kstar, g.alpha)
+	v := linalg.SolveLower(g.chol, kstar)
+	variance := g.Kernel.Eval(x, x) - linalg.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu*g.stdY + g.meanY, math.Sqrt(variance) * g.stdY, nil
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+// ExpectedImprovement scores a candidate for minimization: the expected
+// amount by which the GP posterior at x undercuts the best observed value.
+func ExpectedImprovement(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / std
+	return (best-mean)*normCDF(z) + std*normPDF(z)
+}

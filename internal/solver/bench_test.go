@@ -1,0 +1,20 @@
+package solver
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+)
+
+func BenchmarkRandomSimplex(b *testing.B) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = RandomSimplex(rng, 4)
+	}
+}
+
+func BenchmarkGridSimplex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GridSimplex(4, 6)
+	}
+}

@@ -1,0 +1,29 @@
+package ga
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+)
+
+// BenchmarkProposeObserve measures one GA generation at the paper's largest
+// batch size.
+func BenchmarkProposeObserve(b *testing.B) {
+	s := New(sim.NewRNG(1), Options{RandomInit: true})
+	// Seed a population.
+	props := s.Propose(64)
+	samples := make([]solver.Sample, len(props))
+	for i, p := range props {
+		samples[i] = solver.Sample{Ratios: p, Score: float64(i)}
+	}
+	s.Observe(samples)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props := s.Propose(64)
+		for j, p := range props {
+			samples[j] = solver.Sample{Ratios: p, Score: float64(j)}
+		}
+		s.Observe(samples)
+	}
+}

@@ -1,0 +1,112 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colormatch/internal/sim"
+)
+
+func TestBest(t *testing.T) {
+	if _, ok := Best(nil); ok {
+		t.Fatal("Best of empty ok")
+	}
+	samples := []Sample{{Score: 5}, {Score: 2}, {Score: 9}}
+	b, ok := Best(samples)
+	if !ok || b.Score != 2 {
+		t.Fatalf("Best = %+v, %v", b, ok)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		out := Normalize([]float64{float64(a), float64(b), float64(c), float64(d)})
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSimplexProperties(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		p := RandomSimplex(rng, 4)
+		if err := ValidateRatios(p, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomSimplexCoversSpace(t *testing.T) {
+	// Component means of Dirichlet(1,1,1,1) are 1/4 each.
+	rng := sim.NewRNG(2)
+	sums := make([]float64, 4)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := RandomSimplex(rng, 4)
+		for j, v := range p {
+			sums[j] += v
+		}
+	}
+	for j, s := range sums {
+		if mean := s / n; math.Abs(mean-0.25) > 0.01 {
+			t.Fatalf("component %d mean %v", j, mean)
+		}
+	}
+}
+
+func TestGridSimplexCountAndValidity(t *testing.T) {
+	// Compositions of 6 into 4 parts: C(9,3) = 84.
+	grid := GridSimplex(4, 6)
+	if len(grid) != 84 {
+		t.Fatalf("grid size %d, want 84", len(grid))
+	}
+	seen := map[[4]float64]bool{}
+	for _, p := range grid {
+		if err := ValidateRatios(p, 4); err != nil {
+			t.Fatal(err)
+		}
+		var key [4]float64
+		copy(key[:], p)
+		if seen[key] {
+			t.Fatalf("duplicate grid point %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGridSimplexDegenerate(t *testing.T) {
+	if GridSimplex(0, 5) != nil || GridSimplex(4, 0) != nil {
+		t.Fatal("degenerate grid not nil")
+	}
+	g := GridSimplex(1, 3)
+	if len(g) != 1 || g[0][0] != 1 {
+		t.Fatalf("dim-1 grid = %v", g)
+	}
+}
+
+func TestValidateRatios(t *testing.T) {
+	if err := ValidateRatios([]float64{0.25, 0.25, 0.25, 0.25}, 4); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5, 0.5, -0.5},
+		{0.3, 0.3, 0.3, 0.3},
+		{math.NaN(), 0.5, 0.25, 0.25},
+	}
+	for i, b := range bad {
+		if err := ValidateRatios(b, 4); err == nil {
+			t.Errorf("bad ratios %d accepted", i)
+		}
+	}
+}

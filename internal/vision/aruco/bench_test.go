@@ -1,0 +1,28 @@
+package aruco
+
+import (
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/vision/raster"
+)
+
+// BenchmarkDetect measures fiducial detection on a camera-sized frame.
+func BenchmarkDetect(b *testing.B) {
+	img := raster.NewRGBA(640, 480, color.RGB8{R: 240, G: 240, B: 240})
+	d := Default()
+	d.Render(img, 0, 40, 60, 8)
+	g := raster.FromRGBA(img)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dets := d.Detect(g); len(dets) != 1 {
+			b.Fatalf("detections = %d", len(dets))
+		}
+	}
+}
+
+func BenchmarkGenerateDictionary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateDictionary(16)
+	}
+}

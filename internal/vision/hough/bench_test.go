@@ -1,0 +1,27 @@
+package hough
+
+import (
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/vision/raster"
+)
+
+// BenchmarkCircles measures the circle Hough transform over a plate-sized
+// region with a realistic well count.
+func BenchmarkCircles(b *testing.B) {
+	img := raster.NewRGBA(640, 480, color.RGB8{R: 245, G: 245, B: 245})
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 12; c++ {
+			raster.FillCircle(img, 180+float64(c)*31.5, 160+float64(r)*31.5, 11.9,
+				color.RGB8{R: 90, G: 70, B: 110})
+		}
+	}
+	g := raster.FromRGBA(img)
+	region := Rect{X0: 130, Y0: 120, X1: 600, Y1: 440}
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Circles(g, region, p)
+	}
+}

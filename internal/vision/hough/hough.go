@@ -1,0 +1,191 @@
+// Package hough implements the circle Hough transform used to locate
+// microplate wells, standing in for OpenCV's HoughCircles: "With the
+// HoughCircles algorithm from OpenCV, we can detect circular features in the
+// image to precisely identify the center of wells. As this method is prone
+// to false negatives..." — the same false-negative behavior emerges here on
+// low-contrast wells, which is what makes the downstream grid-alignment
+// recovery step (package plategrid) necessary and testable.
+package hough
+
+import (
+	"math"
+	"sort"
+
+	"colormatch/internal/vision/raster"
+)
+
+// Circle is one detected circle with its accumulator support.
+type Circle struct {
+	X, Y  float64
+	R     float64
+	Votes int
+}
+
+// Rect restricts the search region (inclusive-exclusive pixel bounds).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Contains reports whether (x,y) lies in the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Params tunes the transform.
+type Params struct {
+	RMin, RMax int     // radius search range in pixels, inclusive
+	MagThresh  float64 // Sobel magnitude below which a pixel casts no votes
+	// MinSupport is the fraction of a circle's perimeter that must vote for
+	// a candidate center; circles below it are dropped. This is the knob
+	// that makes light wells (weak edges) go undetected, as in the paper.
+	MinSupport float64
+	// MinDist is the minimum center distance between reported circles
+	// (non-maximum suppression radius). Zero defaults to RMin.
+	MinDist float64
+}
+
+// DefaultParams returns parameters tuned for plate wells of ~10-13px radius.
+func DefaultParams() Params {
+	return Params{RMin: 9, RMax: 14, MagThresh: 60, MinSupport: 0.5}
+}
+
+// Circles runs a gradient-voting circle Hough transform over the region of g.
+// Each strong edge pixel votes for centers at distance r along ±gradient for
+// every candidate radius. Local accumulator maxima with sufficient perimeter
+// support are returned, strongest first, after non-maximum suppression.
+func Circles(g *raster.Gray, region Rect, p Params) []Circle {
+	if p.RMin <= 0 || p.RMax < p.RMin {
+		return nil
+	}
+	if region.X1 > g.W {
+		region.X1 = g.W
+	}
+	if region.Y1 > g.H {
+		region.Y1 = g.H
+	}
+	if region.X0 < 0 {
+		region.X0 = 0
+	}
+	if region.Y0 < 0 {
+		region.Y0 = 0
+	}
+	w := region.X1 - region.X0
+	h := region.Y1 - region.Y0
+	if w <= 0 || h <= 0 {
+		return nil
+	}
+	mag, dir := raster.Sobel(g)
+	nr := p.RMax - p.RMin + 1
+	acc := make([]int32, nr*w*h)
+	idx := func(ri, x, y int) int { return ri*w*h + (y-region.Y0)*w + (x - region.X0) }
+
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			m := mag.At(x, y)
+			if m < p.MagThresh {
+				continue
+			}
+			d := dir.At(x, y)
+			cs, sn := math.Cos(d), math.Sin(d)
+			for ri := 0; ri < nr; ri++ {
+				r := float64(p.RMin + ri)
+				// Vote on both sides: wells may be darker or lighter than
+				// the plate, so the gradient can point either way.
+				for _, sgn := range [2]float64{1, -1} {
+					cx := int(float64(x) + sgn*r*cs + 0.5)
+					cy := int(float64(y) + sgn*r*sn + 0.5)
+					if region.Contains(cx, cy) {
+						acc[idx(ri, cx, cy)]++
+					}
+				}
+			}
+		}
+	}
+
+	// Quantization spreads a circle's votes over a small neighborhood of the
+	// true center, so peaks are found on a 3×3 box sum of each radius plane.
+	var cands []Circle
+	smooth := make([]int32, w*h)
+	for ri := 0; ri < nr; ri++ {
+		r := float64(p.RMin + ri)
+		minVotes := int32(p.MinSupport * 2 * math.Pi * r)
+		if minVotes < 3 {
+			minVotes = 3
+		}
+		plane := acc[ri*w*h : (ri+1)*w*h]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var s int32
+				for dy := -1; dy <= 1; dy++ {
+					yy := y + dy
+					if yy < 0 || yy >= h {
+						continue
+					}
+					for dx := -1; dx <= 1; dx++ {
+						xx := x + dx
+						if xx < 0 || xx >= w {
+							continue
+						}
+						s += plane[yy*w+xx]
+					}
+				}
+				smooth[y*w+x] = s
+			}
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := smooth[y*w+x]
+				if v < minVotes {
+					continue
+				}
+				// Strict local maximum (ties broken toward top-left).
+				peak := true
+				for dy := -1; dy <= 1 && peak; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						yy, xx := y+dy, x+dx
+						if yy < 0 || yy >= h || xx < 0 || xx >= w {
+							continue
+						}
+						n := smooth[yy*w+xx]
+						if n > v || (n == v && (dy < 0 || (dy == 0 && dx < 0))) {
+							peak = false
+							break
+						}
+					}
+				}
+				if !peak {
+					continue
+				}
+				cands = append(cands, Circle{
+					X:     float64(x + region.X0),
+					Y:     float64(y + region.Y0),
+					R:     r,
+					Votes: int(v),
+				})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Votes > cands[j].Votes })
+
+	minDist := p.MinDist
+	if minDist <= 0 {
+		minDist = float64(p.RMin)
+	}
+	var out []Circle
+	for _, c := range cands {
+		dup := false
+		for _, kept := range out {
+			if math.Hypot(c.X-kept.X, c.Y-kept.Y) < minDist {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package hough
+
+import (
+	"math"
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/sim"
+	"colormatch/internal/vision/raster"
+)
+
+func grayWithCircles(bg uint8, circles []Circle, fill []color.RGB8) *raster.Gray {
+	img := raster.NewRGBA(200, 150, color.RGB8{R: bg, G: bg, B: bg})
+	for i, c := range circles {
+		raster.FillCircle(img, c.X, c.Y, c.R, fill[i])
+	}
+	return raster.FromRGBA(img)
+}
+
+func TestDetectSingleDarkCircle(t *testing.T) {
+	truth := []Circle{{X: 100, Y: 75, R: 12}}
+	g := grayWithCircles(240, truth, []color.RGB8{{R: 40, G: 40, B: 40}})
+	got := Circles(g, Rect{0, 0, 200, 150}, DefaultParams())
+	if len(got) == 0 {
+		t.Fatal("no circles found")
+	}
+	best := got[0]
+	if math.Hypot(best.X-100, best.Y-75) > 2 {
+		t.Fatalf("center (%v,%v), want ~(100,75)", best.X, best.Y)
+	}
+	if math.Abs(best.R-12) > 1.5 {
+		t.Fatalf("radius %v, want ~12", best.R)
+	}
+}
+
+func TestDetectGridOfCircles(t *testing.T) {
+	var truth []Circle
+	var fills []color.RGB8
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			truth = append(truth, Circle{X: 40 + float64(c)*35, Y: 35 + float64(r)*35, R: 11})
+			fills = append(fills, color.RGB8{R: 60, G: 30, B: 90})
+		}
+	}
+	g := grayWithCircles(245, truth, fills)
+	got := Circles(g, Rect{0, 0, 200, 150}, DefaultParams())
+	if len(got) != len(truth) {
+		t.Fatalf("found %d circles, want %d", len(got), len(truth))
+	}
+	for _, want := range truth {
+		found := false
+		for _, c := range got {
+			if math.Hypot(c.X-want.X, c.Y-want.Y) <= 3 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("circle at (%v,%v) missed", want.X, want.Y)
+		}
+	}
+}
+
+func TestLowContrastCircleMissed(t *testing.T) {
+	// A well barely darker than the plate must NOT be detected with default
+	// parameters — this is the false-negative behavior the paper describes.
+	truth := []Circle{{X: 100, Y: 75, R: 12}}
+	g := grayWithCircles(240, truth, []color.RGB8{{R: 232, G: 232, B: 232}})
+	got := Circles(g, Rect{0, 0, 200, 150}, DefaultParams())
+	if len(got) != 0 {
+		t.Fatalf("low-contrast circle detected: %+v", got)
+	}
+}
+
+func TestRegionRestricts(t *testing.T) {
+	truth := []Circle{{X: 50, Y: 75, R: 12}, {X: 150, Y: 75, R: 12}}
+	fills := []color.RGB8{{R: 30, G: 30, B: 30}, {R: 30, G: 30, B: 30}}
+	g := grayWithCircles(245, truth, fills)
+	got := Circles(g, Rect{100, 0, 200, 150}, DefaultParams())
+	for _, c := range got {
+		if c.X < 100 {
+			t.Fatalf("circle outside region: %+v", c)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("found %d circles in half-region, want 1", len(got))
+	}
+}
+
+func TestNonMaxSuppression(t *testing.T) {
+	truth := []Circle{{X: 100, Y: 75, R: 12}}
+	g := grayWithCircles(240, truth, []color.RGB8{{R: 20, G: 20, B: 20}})
+	got := Circles(g, Rect{0, 0, 200, 150}, DefaultParams())
+	// A strong circle votes at many nearby radii; NMS must keep one.
+	if len(got) != 1 {
+		t.Fatalf("NMS kept %d circles for one disk", len(got))
+	}
+}
+
+func TestNoiseDoesNotHallucinate(t *testing.T) {
+	img := raster.NewRGBA(200, 150, color.RGB8{R: 240, G: 240, B: 240})
+	rng := sim.NewRNG(3)
+	for i := 0; i < len(img.Pix); i += 4 {
+		for c := 0; c < 3; c++ {
+			v := float64(img.Pix[i+c]) + rng.Normal(0, 4)
+			img.Pix[i+c] = uint8(math.Max(0, math.Min(255, v)))
+		}
+	}
+	got := Circles(raster.FromRGBA(img), Rect{0, 0, 200, 150}, DefaultParams())
+	if len(got) != 0 {
+		t.Fatalf("hallucinated %d circles in noise", len(got))
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	g := raster.NewGray(50, 50)
+	if got := Circles(g, Rect{0, 0, 50, 50}, Params{RMin: 0, RMax: 5}); got != nil {
+		t.Fatal("RMin=0 should return nil")
+	}
+	if got := Circles(g, Rect{0, 0, 50, 50}, Params{RMin: 10, RMax: 5}); got != nil {
+		t.Fatal("RMax<RMin should return nil")
+	}
+	if got := Circles(g, Rect{40, 40, 10, 10}, DefaultParams()); got != nil {
+		t.Fatal("empty region should return nil")
+	}
+}
+
+func TestRegionClampsToImage(t *testing.T) {
+	truth := []Circle{{X: 100, Y: 75, R: 12}}
+	g := grayWithCircles(240, truth, []color.RGB8{{R: 40, G: 40, B: 40}})
+	got := Circles(g, Rect{-50, -50, 10000, 10000}, DefaultParams())
+	if len(got) != 1 {
+		t.Fatalf("oversized region: %d circles", len(got))
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{10, 10, 20, 20}
+	if !r.Contains(10, 10) || r.Contains(20, 20) || r.Contains(9, 15) {
+		t.Fatal("Contains boundary semantics wrong")
+	}
+}

@@ -1,0 +1,43 @@
+package vision
+
+import (
+	"fmt"
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/sim"
+)
+
+// TestJitterRecoverySweep sweeps camera displacements across the range the
+// camera module can drift and asserts the marker-based relocalization keeps
+// every well's sampled color accurate — the paper's motivation for the
+// fiducial ("to account for potential shifting in the camera position").
+func TestJitterRecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := NewAnalyzer()
+	for _, jx := range []float64{-8, -3, 0, 5, 8} {
+		for _, jy := range []float64{-6, 0, 7} {
+			t.Run(fmt.Sprintf("j=%+.0f%+.0f", jx, jy), func(t *testing.T) {
+				rng := sim.NewRNG(int64(100 + jx*13 + jy))
+				scene, ideal := buildScene(t, strongFractions(96), jx, jy, rng)
+				img := scene.Render(a.Dict, rng.Derive("px"))
+				res, err := a.Analyze(img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bad := 0
+				for i := 0; i < 96; i++ {
+					if color.EuclideanRGB(res.WellColors[i], ideal[i]) > 15 {
+						bad++
+					}
+				}
+				if bad > 2 {
+					t.Fatalf("%d wells mis-sampled at jitter (%v,%v), circles=%d",
+						bad, jx, jy, res.CirclesFound)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package plategrid implements the paper's well-center recovery step:
+// "we further align a grid to all well-sized circles within the approximate
+// plate position, and use this grid's size and orientation to predict the
+// center points for all wells in the image, even those originally missed by
+// the HoughCircles algorithm."
+//
+// The grid is affine — an origin (the A1 center) plus a column step vector
+// and a row step vector — fitted by iterated assign-and-refit least squares
+// against the circles the Hough transform did find.
+package plategrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"colormatch/internal/linalg"
+	"colormatch/internal/vision/hough"
+)
+
+// Grid is a fitted affine well grid.
+type Grid struct {
+	OX, OY     float64 // center of well (0,0), i.e. A1, in pixels
+	ColX, ColY float64 // step per column index
+	RowX, RowY float64 // step per row index
+}
+
+// Center returns the predicted center of the well at (row, col).
+func (g Grid) Center(row, col int) (x, y float64) {
+	return g.OX + float64(col)*g.ColX + float64(row)*g.RowX,
+		g.OY + float64(col)*g.ColY + float64(row)*g.RowY
+}
+
+// Pitch returns the mean step length of the grid in pixels.
+func (g Grid) Pitch() float64 {
+	return (math.Hypot(g.ColX, g.ColY) + math.Hypot(g.RowX, g.RowY)) / 2
+}
+
+// Seed is the initial axis-aligned grid estimate, derived from the
+// ArUco-based approximate plate bounds.
+type Seed struct {
+	OX, OY             float64 // estimated A1 center
+	ColPitch, RowPitch float64 // estimated well spacing in pixels
+}
+
+// Grid converts the seed to an axis-aligned grid.
+func (s Seed) Grid() Grid {
+	return Grid{OX: s.OX, OY: s.OY, ColX: s.ColPitch, RowX: 0, ColY: 0, RowY: s.RowPitch}
+}
+
+// ErrTooFewCircles reports that no grid could be fitted.
+var ErrTooFewCircles = errors.New("plategrid: too few circles assigned to fit grid")
+
+// Fit refines seed against detected circles for a rows×cols plate. It
+// returns the refined grid and the number of circles that were assigned to
+// grid nodes in the final iteration. Circles that land outside the grid or
+// between nodes (false positives) are ignored. With no usable circles the
+// seed grid itself is returned along with ErrTooFewCircles, so callers can
+// still sample wells at the approximate positions.
+func Fit(circles []hough.Circle, seed Seed, rows, cols int) (Grid, int, error) {
+	if rows < 1 || cols < 1 {
+		return Grid{}, 0, fmt.Errorf("plategrid: invalid plate shape %dx%d", rows, cols)
+	}
+	g := seed.Grid()
+	assigned := 0
+	for iter := 0; iter < 4; iter++ {
+		type obs struct {
+			r, c int
+			x, y float64
+		}
+		var o []obs
+		maxDist := 0.45 * g.Pitch()
+		for _, c := range circles {
+			r, cc, d := nearestNode(g, c.X, c.Y, rows, cols)
+			if d <= maxDist {
+				o = append(o, obs{r: r, c: cc, x: c.X, y: c.Y})
+			}
+		}
+		assigned = len(o)
+		if assigned < 3 {
+			return g, assigned, ErrTooFewCircles
+		}
+		rowsSeen := map[int]bool{}
+		colsSeen := map[int]bool{}
+		for _, ob := range o {
+			rowsSeen[ob.r] = true
+			colsSeen[ob.c] = true
+		}
+		// Build the design matrix only over estimable directions: with all
+		// observations in a single row (or column), that step vector cannot
+		// be identified and is kept from the current grid.
+		fitRows := len(rowsSeen) >= 2
+		fitCols := len(colsSeen) >= 2
+		ncoef := 1
+		if fitCols {
+			ncoef++
+		}
+		if fitRows {
+			ncoef++
+		}
+		a := linalg.NewMatrix(len(o), ncoef)
+		bx := make([]float64, len(o))
+		by := make([]float64, len(o))
+		for i, ob := range o {
+			j := 0
+			a.Set(i, j, 1)
+			j++
+			if fitCols {
+				a.Set(i, j, float64(ob.c))
+				j++
+			}
+			if fitRows {
+				a.Set(i, j, float64(ob.r))
+			}
+			x, y := ob.x, ob.y
+			if !fitCols {
+				x -= float64(ob.c) * g.ColX
+				y -= float64(ob.c) * g.ColY
+			}
+			if !fitRows {
+				x -= float64(ob.r) * g.RowX
+				y -= float64(ob.r) * g.RowY
+			}
+			bx[i] = x
+			by[i] = y
+		}
+		cx, err := linalg.LeastSquares(a, bx)
+		if err != nil {
+			return g, assigned, fmt.Errorf("plategrid: fit failed: %w", err)
+		}
+		cy, err := linalg.LeastSquares(a, by)
+		if err != nil {
+			return g, assigned, fmt.Errorf("plategrid: fit failed: %w", err)
+		}
+		g.OX, g.OY = cx[0], cy[0]
+		j := 1
+		if fitCols {
+			g.ColX, g.ColY = cx[j], cy[j]
+			j++
+		}
+		if fitRows {
+			g.RowX, g.RowY = cx[j], cy[j]
+		}
+	}
+	return g, assigned, nil
+}
+
+// nearestNode returns the grid node closest to (x,y), clamped to the plate,
+// and its distance.
+func nearestNode(g Grid, x, y float64, rows, cols int) (r, c int, dist float64) {
+	// Invert the affine map (well-conditioned: near-diagonal step matrix).
+	det := g.ColX*g.RowY - g.RowX*g.ColY
+	if math.Abs(det) < 1e-9 {
+		return 0, 0, math.Inf(1)
+	}
+	dx, dy := x-g.OX, y-g.OY
+	fc := (dx*g.RowY - dy*g.RowX) / det
+	fr := (dy*g.ColX - dx*g.ColY) / det
+	c = clampRound(fc, cols-1)
+	r = clampRound(fr, rows-1)
+	px, py := g.Center(r, c)
+	return r, c, math.Hypot(x-px, y-py)
+}
+
+func clampRound(f float64, max int) int {
+	i := int(math.Round(f))
+	if i < 0 {
+		return 0
+	}
+	if i > max {
+		return max
+	}
+	return i
+}

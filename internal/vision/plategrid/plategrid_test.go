@@ -1,0 +1,175 @@
+package plategrid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/vision/hough"
+)
+
+// synthCircles builds circles at grid positions for the given subset of
+// wells, with optional center noise.
+func synthCircles(g Grid, wells [][2]int, noise float64, rng *sim.RNG) []hough.Circle {
+	out := make([]hough.Circle, 0, len(wells))
+	for _, rc := range wells {
+		x, y := g.Center(rc[0], rc[1])
+		if noise > 0 {
+			x += rng.Normal(0, noise)
+			y += rng.Normal(0, noise)
+		}
+		out = append(out, hough.Circle{X: x, Y: y, R: 11, Votes: 50})
+	}
+	return out
+}
+
+func allWells(rows, cols int) [][2]int {
+	var out [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, [2]int{r, c})
+		}
+	}
+	return out
+}
+
+func TestFitRecoversExactGrid(t *testing.T) {
+	truth := Grid{OX: 150, OY: 100, ColX: 31.5, ColY: 0.4, RowX: -0.4, RowY: 31.5}
+	circles := synthCircles(truth, allWells(8, 12), 0, nil)
+	seed := Seed{OX: 148, OY: 103, ColPitch: 30, RowPitch: 30}
+	got, n, err := Fit(circles, seed, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 96 {
+		t.Fatalf("assigned %d circles, want 96", n)
+	}
+	for r := 0; r < 8; r += 7 {
+		for c := 0; c < 12; c += 11 {
+			wx, wy := truth.Center(r, c)
+			gx, gy := got.Center(r, c)
+			if math.Hypot(wx-gx, wy-gy) > 0.01 {
+				t.Fatalf("corner (%d,%d): predicted (%v,%v), want (%v,%v)", r, c, gx, gy, wx, wy)
+			}
+		}
+	}
+}
+
+func TestFitWithMissingWellsAndNoise(t *testing.T) {
+	// Only 40% of wells detected, with 1px center noise: predictions for
+	// ALL wells must still land within 2px — the paper's recovery property.
+	truth := Grid{OX: 150, OY: 100, ColX: 31.5, ColY: 0.8, RowX: -0.8, RowY: 31.5}
+	rng := sim.NewRNG(7)
+	var subset [][2]int
+	for _, rc := range allWells(8, 12) {
+		if rng.Float64() < 0.4 {
+			subset = append(subset, rc)
+		}
+	}
+	circles := synthCircles(truth, subset, 1.0, rng)
+	seed := Seed{OX: 145, OY: 96, ColPitch: 33, RowPitch: 30}
+	got, n, err := Fit(circles, seed, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < len(subset)*8/10 {
+		t.Fatalf("assigned only %d of %d circles", n, len(subset))
+	}
+	worst := 0.0
+	for _, rc := range allWells(8, 12) {
+		wx, wy := truth.Center(rc[0], rc[1])
+		gx, gy := got.Center(rc[0], rc[1])
+		if d := math.Hypot(wx-gx, wy-gy); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2 {
+		t.Fatalf("worst prediction error %.2fpx", worst)
+	}
+}
+
+func TestFitIgnoresFalsePositives(t *testing.T) {
+	truth := Grid{OX: 150, OY: 100, ColX: 31.5, ColY: 0, RowX: 0, RowY: 31.5}
+	circles := synthCircles(truth, allWells(8, 12), 0, nil)
+	// Junk detections between wells and outside the plate.
+	circles = append(circles,
+		hough.Circle{X: 150 + 15.7, Y: 100 + 15.7, R: 11, Votes: 20},
+		hough.Circle{X: 10, Y: 10, R: 11, Votes: 20},
+		hough.Circle{X: 600, Y: 400, R: 11, Votes: 20},
+	)
+	seed := Seed{OX: 150, OY: 100, ColPitch: 31.5, RowPitch: 31.5}
+	got, _, err := Fit(circles, seed, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, gy := got.Center(0, 0)
+	if math.Hypot(gx-150, gy-100) > 0.5 {
+		t.Fatalf("false positives perturbed origin to (%v,%v)", gx, gy)
+	}
+}
+
+func TestFitSingleRowKeepsSeedRowVector(t *testing.T) {
+	truth := Grid{OX: 100, OY: 80, ColX: 31.5, ColY: 0, RowX: 0, RowY: 31.5}
+	var row [][2]int
+	for c := 0; c < 12; c++ {
+		row = append(row, [2]int{0, c})
+	}
+	circles := synthCircles(truth, row, 0, nil)
+	seed := Seed{OX: 99, OY: 81, ColPitch: 31, RowPitch: 30}
+	got, n, err := Fit(circles, seed, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("assigned %d", n)
+	}
+	// Column direction refined from data; row pitch kept from seed.
+	if math.Abs(got.ColX-31.5) > 0.1 {
+		t.Fatalf("ColX = %v", got.ColX)
+	}
+	if math.Abs(got.RowY-30) > 1e-6 {
+		t.Fatalf("RowY = %v, want seed 30", got.RowY)
+	}
+	gx, gy := got.Center(0, 0)
+	if math.Hypot(gx-100, gy-80) > 0.5 {
+		t.Fatalf("origin (%v,%v)", gx, gy)
+	}
+}
+
+func TestFitTooFewCircles(t *testing.T) {
+	seed := Seed{OX: 100, OY: 80, ColPitch: 31, RowPitch: 31}
+	g, n, err := Fit(nil, seed, 8, 12)
+	if !errors.Is(err, ErrTooFewCircles) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("assigned %d", n)
+	}
+	// Fallback grid must be the seed so wells can still be sampled.
+	if g != seed.Grid() {
+		t.Fatalf("fallback grid %+v", g)
+	}
+}
+
+func TestFitInvalidShape(t *testing.T) {
+	if _, _, err := Fit(nil, Seed{}, 0, 12); err == nil {
+		t.Fatal("accepted 0 rows")
+	}
+}
+
+func TestGridPitch(t *testing.T) {
+	g := Grid{ColX: 30, ColY: 0, RowX: 0, RowY: 32}
+	if p := g.Pitch(); math.Abs(p-31) > 1e-9 {
+		t.Fatalf("Pitch = %v", p)
+	}
+}
+
+func TestSeedGridRoundTrip(t *testing.T) {
+	s := Seed{OX: 1, OY: 2, ColPitch: 3, RowPitch: 4}
+	g := s.Grid()
+	x, y := g.Center(2, 5)
+	if x != 1+5*3 || y != 2+2*4 {
+		t.Fatalf("Center = (%v,%v)", x, y)
+	}
+}

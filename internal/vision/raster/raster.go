@@ -1,0 +1,290 @@
+// Package raster supplies the low-level image operations the vision pipeline
+// is built from: grayscale conversion, global (Otsu) thresholding, Sobel
+// gradients, connected-component labeling, and simple drawing primitives for
+// the synthetic renderer. It replaces the slice of OpenCV the paper's image
+// processing relies on.
+package raster
+
+import (
+	"image"
+	imgcolor "image/color"
+	"math"
+
+	"colormatch/internal/color"
+)
+
+// Gray is a float64 grayscale image in [0,255], row-major.
+type Gray struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewGray returns a zeroed grayscale image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x,y); out-of-bounds reads return 0.
+func (g *Gray) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set assigns the intensity at (x,y); out-of-bounds writes are dropped.
+func (g *Gray) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// FromRGBA converts an RGBA image to grayscale using Rec.601 luma weights.
+func FromRGBA(img *image.RGBA) *Gray {
+	b := img.Bounds()
+	g := NewGray(b.Dx(), b.Dy())
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			i := img.PixOffset(b.Min.X+x, b.Min.Y+y)
+			r := float64(img.Pix[i])
+			gg := float64(img.Pix[i+1])
+			bb := float64(img.Pix[i+2])
+			g.Pix[y*g.W+x] = 0.299*r + 0.587*gg + 0.114*bb
+		}
+	}
+	return g
+}
+
+// Otsu computes the Otsu threshold of g: the intensity that maximizes
+// between-class variance of the bi-level split.
+func Otsu(g *Gray) float64 {
+	var hist [256]int
+	for _, v := range g.Pix {
+		i := int(v)
+		if i < 0 {
+			i = 0
+		}
+		if i > 255 {
+			i = 255
+		}
+		hist[i]++
+	}
+	total := len(g.Pix)
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+	var sumB, wB float64
+	bestVar, bestT := -1.0, 127.0
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar = v
+			bestT = float64(t)
+		}
+	}
+	return bestT
+}
+
+// Threshold returns a binary mask: true where intensity <= t (dark pixels).
+// The inclusive comparison pairs with Otsu, which returns the upper edge of
+// the dark class.
+func Threshold(g *Gray, t float64) []bool {
+	out := make([]bool, len(g.Pix))
+	for i, v := range g.Pix {
+		out[i] = v <= t
+	}
+	return out
+}
+
+// Component is a 4-connected region of set mask pixels.
+type Component struct {
+	MinX, MinY, MaxX, MaxY int // inclusive bounding box
+	Count                  int // pixel population
+}
+
+// W returns the bounding-box width.
+func (c Component) W() int { return c.MaxX - c.MinX + 1 }
+
+// H returns the bounding-box height.
+func (c Component) H() int { return c.MaxY - c.MinY + 1 }
+
+// Components labels 4-connected regions of true pixels in mask (width w).
+// Regions smaller than minCount pixels are dropped.
+func Components(mask []bool, w int, minCount int) []Component {
+	h := len(mask) / w
+	labels := make([]int32, len(mask))
+	var out []Component
+	var stack []int
+	for start := range mask {
+		if !mask[start] || labels[start] != 0 {
+			continue
+		}
+		id := int32(len(out) + 1)
+		comp := Component{MinX: w, MinY: h, MaxX: -1, MaxY: -1}
+		stack = stack[:0]
+		stack = append(stack, start)
+		labels[start] = id
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := i%w, i/w
+			comp.Count++
+			if x < comp.MinX {
+				comp.MinX = x
+			}
+			if x > comp.MaxX {
+				comp.MaxX = x
+			}
+			if y < comp.MinY {
+				comp.MinY = y
+			}
+			if y > comp.MaxY {
+				comp.MaxY = y
+			}
+			if x > 0 && mask[i-1] && labels[i-1] == 0 {
+				labels[i-1] = id
+				stack = append(stack, i-1)
+			}
+			if x < w-1 && mask[i+1] && labels[i+1] == 0 {
+				labels[i+1] = id
+				stack = append(stack, i+1)
+			}
+			if y > 0 && mask[i-w] && labels[i-w] == 0 {
+				labels[i-w] = id
+				stack = append(stack, i-w)
+			}
+			if y < h-1 && mask[i+w] && labels[i+w] == 0 {
+				labels[i+w] = id
+				stack = append(stack, i+w)
+			}
+		}
+		if comp.Count >= minCount {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// Sobel computes gradient magnitude and direction (radians) per pixel.
+func Sobel(g *Gray) (mag, dir *Gray) {
+	mag = NewGray(g.W, g.H)
+	dir = NewGray(g.W, g.H)
+	for y := 1; y < g.H-1; y++ {
+		for x := 1; x < g.W-1; x++ {
+			gx := -g.At(x-1, y-1) + g.At(x+1, y-1) +
+				-2*g.At(x-1, y) + 2*g.At(x+1, y) +
+				-g.At(x-1, y+1) + g.At(x+1, y+1)
+			gy := -g.At(x-1, y-1) - 2*g.At(x, y-1) - g.At(x+1, y-1) +
+				g.At(x-1, y+1) + 2*g.At(x, y+1) + g.At(x+1, y+1)
+			mag.Set(x, y, math.Hypot(gx, gy))
+			dir.Set(x, y, math.Atan2(gy, gx))
+		}
+	}
+	return mag, dir
+}
+
+// NewRGBA returns a w×h RGBA image filled with the given color.
+func NewRGBA(w, h int, fill color.RGB8) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	c := imgcolor.RGBA{R: fill.R, G: fill.G, B: fill.B, A: 255}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+// FillRect fills the axis-aligned rectangle [x0,x1)×[y0,y1).
+func FillRect(img *image.RGBA, x0, y0, x1, y1 int, c color.RGB8) {
+	cc := imgcolor.RGBA{R: c.R, G: c.G, B: c.B, A: 255}
+	b := img.Bounds()
+	if x0 < b.Min.X {
+		x0 = b.Min.X
+	}
+	if y0 < b.Min.Y {
+		y0 = b.Min.Y
+	}
+	if x1 > b.Max.X {
+		x1 = b.Max.X
+	}
+	if y1 > b.Max.Y {
+		y1 = b.Max.Y
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			img.SetRGBA(x, y, cc)
+		}
+	}
+}
+
+// FillCircle fills a disk of radius r centered at (cx,cy).
+func FillCircle(img *image.RGBA, cx, cy, r float64, c color.RGB8) {
+	cc := imgcolor.RGBA{R: c.R, G: c.G, B: c.B, A: 255}
+	x0, x1 := int(cx-r-1), int(cx+r+1)
+	y0, y1 := int(cy-r-1), int(cy+r+1)
+	r2 := r * r
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)+0.5-cx, float64(y)+0.5-cy
+			if dx*dx+dy*dy <= r2 {
+				if image.Pt(x, y).In(img.Bounds()) {
+					img.SetRGBA(x, y, cc)
+				}
+			}
+		}
+	}
+}
+
+// PixelRGB8 reads the pixel at (x,y) as an 8-bit sRGB color.
+func PixelRGB8(img *image.RGBA, x, y int) color.RGB8 {
+	if !image.Pt(x, y).In(img.Bounds()) {
+		return color.RGB8{}
+	}
+	i := img.PixOffset(x, y)
+	return color.RGB8{R: img.Pix[i], G: img.Pix[i+1], B: img.Pix[i+2]}
+}
+
+// MeanDisk returns the average color over a disk of radius r at (cx,cy),
+// ignoring out-of-bounds pixels. It is how the pipeline samples a well's
+// color at its predicted center.
+func MeanDisk(img *image.RGBA, cx, cy, r float64) color.RGB8 {
+	var sr, sg, sb, n float64
+	x0, x1 := int(cx-r-1), int(cx+r+1)
+	y0, y1 := int(cy-r-1), int(cy+r+1)
+	r2 := r * r
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)+0.5-cx, float64(y)+0.5-cy
+			if dx*dx+dy*dy > r2 || !image.Pt(x, y).In(img.Bounds()) {
+				continue
+			}
+			i := img.PixOffset(x, y)
+			sr += float64(img.Pix[i])
+			sg += float64(img.Pix[i+1])
+			sb += float64(img.Pix[i+2])
+			n++
+		}
+	}
+	if n == 0 {
+		return color.RGB8{}
+	}
+	return color.RGB8{
+		R: uint8(sr/n + 0.5),
+		G: uint8(sg/n + 0.5),
+		B: uint8(sb/n + 0.5),
+	}
+}

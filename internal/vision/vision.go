@@ -1,0 +1,117 @@
+// Package vision assembles the paper's §2.4 image-processing pipeline:
+// detect the ArUco marker, derive the approximate plate boundaries from the
+// marker's size and position, find well-sized circles with a Hough
+// transform, align a grid to the circles found, predict every well center
+// from the grid (recovering the Hough false negatives), and report the
+// detected color at each well center.
+package vision
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"image"
+	"image/png"
+
+	"colormatch/internal/color"
+	"colormatch/internal/labware"
+	"colormatch/internal/vision/aruco"
+	"colormatch/internal/vision/hough"
+	"colormatch/internal/vision/plategrid"
+	"colormatch/internal/vision/raster"
+	"colormatch/internal/vision/render"
+)
+
+// Result is the outcome of analyzing one plate photograph.
+type Result struct {
+	Marker       aruco.Detection
+	CirclesFound int            // wells the Hough transform located directly
+	GridAssigned int            // circles consistent with the fitted grid
+	Grid         plategrid.Grid // fitted well grid
+	WellColors   [labware.PlateWells]color.RGB8
+	WellCenters  [labware.PlateWells][2]float64
+}
+
+// ErrNoMarker reports that no fiducial was found, so the plate cannot be
+// located.
+var ErrNoMarker = errors.New("vision: no fiducial marker detected")
+
+// Analyzer holds the pipeline configuration.
+type Analyzer struct {
+	Dict  *aruco.Dictionary
+	Geom  render.Geometry
+	Hough hough.Params
+}
+
+// NewAnalyzer returns an analyzer with default dictionary, geometry and
+// Hough parameters matched to the default geometry's well size.
+func NewAnalyzer() *Analyzer {
+	g := render.Default()
+	p := hough.DefaultParams()
+	p.RMin = int(g.WellRPx) - 3
+	p.RMax = int(g.WellRPx) + 3
+	p.MinDist = g.PitchPx * 0.6
+	return &Analyzer{Dict: aruco.Default(), Geom: g, Hough: p}
+}
+
+// Analyze runs the full pipeline on one photograph.
+func (a *Analyzer) Analyze(img *image.RGBA) (*Result, error) {
+	gray := raster.FromRGBA(img)
+
+	dets := a.Dict.Detect(gray)
+	nomX, nomY := a.Geom.MarkerCenter()
+	marker, ok := aruco.Best(dets, nomX, nomY)
+	if !ok {
+		return nil, ErrNoMarker
+	}
+
+	region := a.Geom.PlateRegionFromMarker(marker)
+	circles := hough.Circles(gray, region, a.Hough)
+
+	seed := a.Geom.SeedFromMarker(marker)
+	grid, assigned, err := plategrid.Fit(circles, seed, labware.PlateRows, labware.PlateCols)
+	if err != nil && !errors.Is(err, plategrid.ErrTooFewCircles) {
+		return nil, fmt.Errorf("vision: %w", err)
+	}
+
+	res := &Result{
+		Marker:       marker,
+		CirclesFound: len(circles),
+		GridAssigned: assigned,
+		Grid:         grid,
+	}
+	sampleR := a.Geom.WellRPx * 0.55
+	for i := 0; i < labware.PlateWells; i++ {
+		addr := labware.WellAt(i)
+		x, y := grid.Center(addr.Row, addr.Col)
+		res.WellCenters[i] = [2]float64{x, y}
+		res.WellColors[i] = raster.MeanDisk(img, x, y, sampleR)
+	}
+	return res, nil
+}
+
+// EncodePNG serializes an image for transport from the camera module to the
+// application, as the physical camera would deliver a compressed frame.
+func EncodePNG(img *image.RGBA) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePNG parses a PNG frame back into an RGBA image.
+func DecodePNG(data []byte) (*image.RGBA, error) {
+	src, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	b := src.Bounds()
+	out := image.NewRGBA(image.Rect(0, 0, b.Dx(), b.Dy()))
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			out.Set(x, y, src.At(b.Min.X+x, b.Min.Y+y))
+		}
+	}
+	return out, nil
+}

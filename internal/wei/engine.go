@@ -1,0 +1,240 @@
+package wei
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// Client dispatches commands to modules. The engine is transport-agnostic:
+// the same application code runs whether modules live in-process or behind
+// HTTP servers ("workflow steps are translated into commands sent to
+// computers connected to devices").
+type Client interface {
+	Act(ctx context.Context, module, action string, args Args) (Result, error)
+	State(ctx context.Context, module string) (ModuleState, error)
+	About(ctx context.Context, module string) (ModuleInfo, error)
+}
+
+// StepRecord is the timing record of one executed step. For each workflow
+// run "a file is created that details the step names run, their start time,
+// end time and total duration" — RunRecord.WriteFile produces it.
+type StepRecord struct {
+	Name     string        `json:"name"`
+	Module   string        `json:"module"`
+	Action   string        `json:"action"`
+	Start    time.Time     `json:"start"`
+	End      time.Time     `json:"end"`
+	Duration time.Duration `json:"duration"`
+	Attempts int           `json:"attempts"`
+	Err      string        `json:"err,omitempty"`
+
+	// Result carries the action's payload to the application (e.g. the
+	// camera frame). It is not serialized into timing files.
+	Result Result `json:"-"`
+}
+
+// RunRecord is the record of one workflow run.
+type RunRecord struct {
+	Workflow string        `json:"workflow"`
+	Start    time.Time     `json:"start"`
+	End      time.Time     `json:"end"`
+	Duration time.Duration `json:"duration"`
+	Steps    []StepRecord  `json:"steps"`
+}
+
+// WriteFile saves the run record as JSON in dir, named after the workflow
+// and its start time. It returns the file path.
+func (r *RunRecord) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("wei: run record: %w", err)
+	}
+	name := fmt.Sprintf("%s_%s.json", r.Workflow, r.Start.UTC().Format("20060102T150405.000000000"))
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("wei: run record: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("wei: run record: %w", err)
+	}
+	return path, nil
+}
+
+// Engine executes workflows against a workcell through a Client, with
+// command-level fault injection and bounded retries. The paper observes that
+// "most failures occur during reception and processing of commands"; the
+// engine's retry loop is what turns those transient failures into the
+// completed-commands counts the CCWH metric reports.
+type Engine struct {
+	Client Client
+	Clock  sim.Clock
+	Log    *EventLog
+	Faults *sim.Injector // nil injects nothing
+
+	// MaxAttempts bounds command attempts per step (default 3).
+	MaxAttempts int
+	// RetryDelay is the pause between attempts on the experiment clock
+	// (default 5s: an operator-less automatic recovery).
+	RetryDelay time.Duration
+	// RecordDir, when set, receives a timing file per workflow run.
+	RecordDir string
+}
+
+// NewEngine returns an engine with default retry policy.
+func NewEngine(client Client, clock sim.Clock, log *EventLog) *Engine {
+	return &Engine{
+		Client:      client,
+		Clock:       clock,
+		Log:         log,
+		MaxAttempts: 3,
+		RetryDelay:  5 * time.Second,
+	}
+}
+
+// ErrStepFailed reports a step that exhausted its attempts.
+var ErrStepFailed = errors.New("wei: step failed after retries")
+
+// Preflight verifies that every step of wf targets a module the client can
+// reach and an action that module exposes, without running anything. It is
+// the dynamic counterpart of WorkflowSpec.Validate (which checks a workcell
+// file): run it once before a long experiment to fail fast on typos.
+func (e *Engine) Preflight(ctx context.Context, wf *WorkflowSpec) error {
+	about := map[string]ModuleInfo{}
+	for _, step := range wf.Steps {
+		info, ok := about[step.Module]
+		if !ok {
+			var err error
+			info, err = e.Client.About(ctx, step.Module)
+			if err != nil {
+				return fmt.Errorf("wei: preflight %q step %q: %w", wf.Name, step.Name, err)
+			}
+			about[step.Module] = info
+		}
+		found := false
+		for _, a := range info.Actions {
+			if a.Name == step.Action {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("wei: preflight %q step %q: module %q has no action %q",
+				wf.Name, step.Name, step.Module, step.Action)
+		}
+	}
+	return nil
+}
+
+// RunWorkflow executes every step of wf in order, substituting params into
+// step args. It stops at the first step that fails all attempts.
+func (e *Engine) RunWorkflow(ctx context.Context, wf *WorkflowSpec, params map[string]any) (*RunRecord, error) {
+	rec := &RunRecord{Workflow: wf.Name, Start: e.Clock.Now()}
+	e.Log.Append(Event{Kind: EvWorkflowStart, Workflow: wf.Name})
+	var runErr error
+	for _, step := range wf.Steps {
+		sr, err := e.runStep(ctx, wf.Name, step, params)
+		rec.Steps = append(rec.Steps, sr)
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	rec.End = e.Clock.Now()
+	rec.Duration = rec.End.Sub(rec.Start)
+	e.Log.Append(Event{Kind: EvWorkflowEnd, Workflow: wf.Name, Duration: rec.Duration})
+	if e.RecordDir != "" {
+		if _, err := rec.WriteFile(e.RecordDir); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return rec, runErr
+}
+
+// runStep executes one step with retries.
+func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params map[string]any) (StepRecord, error) {
+	sr := StepRecord{
+		Name:   step.Name,
+		Module: step.Module,
+		Action: step.Action,
+		Start:  e.Clock.Now(),
+	}
+	e.Log.Append(Event{Kind: EvStepStart, Workflow: wfName, Step: step.Name, Module: step.Module, Action: step.Action})
+
+	args, err := SubstituteArgs(step.Args, params)
+	if err != nil {
+		sr.Err = err.Error()
+		sr.End = e.Clock.Now()
+		e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name, Err: sr.Err})
+		return sr, err
+	}
+
+	maxAttempts := e.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		sr.Attempts = attempt
+		e.Log.Append(Event{Kind: EvCommandSent, Workflow: wfName, Step: step.Name,
+			Module: step.Module, Action: step.Action, Attempt: attempt})
+		cmdStart := e.Clock.Now()
+
+		res, cmdErr := e.dispatch(ctx, step, args)
+
+		dur := e.Clock.Now().Sub(cmdStart)
+		if cmdErr == nil {
+			sr.Result = res
+			e.Log.Append(Event{Kind: EvCommandDone, Workflow: wfName, Step: step.Name,
+				Module: step.Module, Action: step.Action, Attempt: attempt, Duration: dur})
+			sr.End = e.Clock.Now()
+			sr.Duration = sr.End.Sub(sr.Start)
+			e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name,
+				Module: step.Module, Action: step.Action, Duration: sr.Duration})
+			return sr, nil
+		}
+		lastErr = cmdErr
+		e.Log.Append(Event{Kind: EvCommandFailed, Workflow: wfName, Step: step.Name,
+			Module: step.Module, Action: step.Action, Attempt: attempt, Duration: dur, Err: cmdErr.Error()})
+		if attempt < maxAttempts && e.RetryDelay > 0 {
+			e.Clock.Sleep(e.RetryDelay)
+		}
+	}
+	sr.Err = lastErr.Error()
+	sr.End = e.Clock.Now()
+	sr.Duration = sr.End.Sub(sr.Start)
+	e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name,
+		Module: step.Module, Action: step.Action, Duration: sr.Duration, Err: sr.Err})
+	return sr, fmt.Errorf("%w: %s.%s: %w", ErrStepFailed, step.Module, step.Action, lastErr)
+}
+
+// dispatch sends one command attempt, applying injected faults.
+//
+// Fault semantics: a receive fault drops the command before the instrument
+// sees it; a process fault aborts it at the instrument without effect; a
+// report fault runs the action but loses the success report, so the control
+// system observes a failure even though the work happened (exactly the
+// hazard the paper's CCWH metric probes).
+func (e *Engine) dispatch(ctx context.Context, step Step, args Args) (Result, error) {
+	if f := e.Faults.Check(step.Module, step.Action); f != nil {
+		switch f.Kind {
+		case sim.FaultReport:
+			if _, err := e.Client.Act(ctx, step.Module, step.Action, args); err != nil {
+				return nil, err
+			}
+			return nil, f
+		default:
+			// Receive and process faults: the action does not run. Simulate
+			// the command timeout an operator would observe.
+			e.Clock.Sleep(2 * time.Second)
+			return nil, f
+		}
+	}
+	return e.Client.Act(ctx, step.Module, step.Action, args)
+}

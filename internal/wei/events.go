@@ -1,0 +1,114 @@
+package wei
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// EventKind classifies event-log entries. The event log is the ground truth
+// from which the paper's proposed SDL metrics (TWH, CCWH, synthesis time,
+// transfer time, time per color) are computed.
+type EventKind string
+
+// Event kinds recorded by the engine and application.
+const (
+	EvWorkflowStart EventKind = "workflow_start"
+	EvWorkflowEnd   EventKind = "workflow_end"
+	EvStepStart     EventKind = "step_start"
+	EvStepEnd       EventKind = "step_end"
+	EvCommandSent   EventKind = "command_sent"
+	EvCommandDone   EventKind = "command_completed"
+	EvCommandFailed EventKind = "command_failed"
+	EvCompute       EventKind = "compute"
+	EvPublish       EventKind = "publish"
+	EvHumanInput    EventKind = "human_input"
+	EvNote          EventKind = "note"
+)
+
+// Event is one entry in the experiment's event log.
+type Event struct {
+	Seq      int           `json:"seq"`
+	Time     time.Time     `json:"time"`
+	Kind     EventKind     `json:"kind"`
+	Workflow string        `json:"workflow,omitempty"`
+	Step     string        `json:"step,omitempty"`
+	Module   string        `json:"module,omitempty"`
+	Action   string        `json:"action,omitempty"`
+	Attempt  int           `json:"attempt,omitempty"`
+	Duration time.Duration `json:"duration,omitempty"`
+	Err      string        `json:"err,omitempty"`
+	Note     string        `json:"note,omitempty"`
+}
+
+// EventLog is an append-only, concurrency-safe event record stamped with the
+// experiment clock (virtual or real).
+type EventLog struct {
+	clock sim.Clock
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an event log using the given clock.
+func NewEventLog(clock sim.Clock) *EventLog {
+	return &EventLog{clock: clock}
+}
+
+// Append records an event, stamping sequence number and time.
+func (l *EventLog) Append(e Event) {
+	l.mu.Lock()
+	e.Seq = len(l.events)
+	e.Time = l.clock.Now()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the log.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of events recorded.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// WriteJSON streams the log as JSON lines.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	for _, e := range l.Events() {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("wei: encode event %d: %w", e.Seq, err)
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEventsJSON parses a JSON-lines event log written by WriteJSON.
+func ReadEventsJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("wei: decode event log: %w", err)
+		}
+		out = append(out, e)
+	}
+}

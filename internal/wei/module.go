@@ -1,0 +1,176 @@
+// Package wei reimplements the slice of the WEI science-factory platform
+// (Vescovi et al. 2023) that the color-picker application runs on: modules
+// that encapsulate instruments and expose actions, workcells declared in
+// YAML that assemble modules, declarative workflows that run actions on
+// modules, and an execution engine that dispatches workflow steps, retries
+// failed commands, and records step timing and a structured event log.
+//
+// "Each module is represented by a software abstraction that exposes a
+// single device and, via interface methods, the actions that the device can
+// perform" — Module below is that abstraction.
+package wei
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ModuleState describes a module's availability.
+type ModuleState string
+
+// Module states reported by State().
+const (
+	StateReady ModuleState = "ready"
+	StateBusy  ModuleState = "busy"
+	StateError ModuleState = "error"
+)
+
+// Args carries the keyword arguments of an action. Values must be
+// JSON-serializable so that in-process and HTTP transports behave alike.
+type Args = map[string]any
+
+// Result carries an action's return payload, JSON-serializable for the same
+// reason.
+type Result = map[string]any
+
+// ActionFunc executes one action against the underlying device.
+type ActionFunc func(ctx context.Context, args Args) (Result, error)
+
+// ActionInfo describes an action for About().
+type ActionInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Args        []string `json:"args,omitempty"`
+}
+
+// ModuleInfo describes a module for About().
+type ModuleInfo struct {
+	Name        string       `json:"name"`
+	Type        string       `json:"type"`
+	Description string       `json:"description,omitempty"`
+	Actions     []ActionInfo `json:"actions"`
+}
+
+// Module is the WEI software abstraction of one device.
+type Module interface {
+	// Name returns the module's workcell-unique name (e.g. "pf400").
+	Name() string
+	// Type returns the capability class (e.g. "manipulator"), used when
+	// retargeting workflows to compatible modules.
+	Type() string
+	// About describes the module and its actions.
+	About() ModuleInfo
+	// State reports availability.
+	State() ModuleState
+	// Act performs one action. Implementations must be safe for concurrent
+	// calls and should mark themselves busy for the action's duration.
+	Act(ctx context.Context, action string, args Args) (Result, error)
+}
+
+// ErrUnknownAction reports a request for an action a module does not expose.
+type ErrUnknownAction struct {
+	Module, Action string
+}
+
+// Error implements error.
+func (e *ErrUnknownAction) Error() string {
+	return fmt.Sprintf("wei: module %q has no action %q", e.Module, e.Action)
+}
+
+// Base is an embeddable Module implementation handling action registration,
+// dispatch, busy-state tracking and About(). Device packages embed it and
+// register their actions.
+type Base struct {
+	name        string
+	typ         string
+	description string
+
+	mu      sync.Mutex
+	actions map[string]registeredAction
+	state   ModuleState
+}
+
+type registeredAction struct {
+	info ActionInfo
+	run  ActionFunc
+}
+
+// NewBase returns a Base for a module with the given name and type.
+func NewBase(name, typ, description string) *Base {
+	return &Base{
+		name:        name,
+		typ:         typ,
+		description: description,
+		actions:     make(map[string]registeredAction),
+		state:       StateReady,
+	}
+}
+
+// Name implements Module.
+func (b *Base) Name() string { return b.name }
+
+// Type implements Module.
+func (b *Base) Type() string { return b.typ }
+
+// Register exposes an action. It panics on duplicate registration, which is
+// a programming error.
+func (b *Base) Register(info ActionInfo, run ActionFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.actions[info.Name]; dup {
+		panic(fmt.Sprintf("wei: duplicate action %q on module %q", info.Name, b.name))
+	}
+	b.actions[info.Name] = registeredAction{info: info, run: run}
+}
+
+// About implements Module.
+func (b *Base) About() ModuleInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	info := ModuleInfo{Name: b.name, Type: b.typ, Description: b.description}
+	for _, a := range b.actions {
+		info.Actions = append(info.Actions, a.info)
+	}
+	sort.Slice(info.Actions, func(i, j int) bool { return info.Actions[i].Name < info.Actions[j].Name })
+	return info
+}
+
+// State implements Module.
+func (b *Base) State() ModuleState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setState records a state transition.
+func (b *Base) setState(s ModuleState) {
+	b.mu.Lock()
+	b.state = s
+	b.mu.Unlock()
+}
+
+// Act implements Module: it resolves the action, marks the module busy while
+// the action runs, and restores readiness afterwards (error state if the
+// action failed).
+func (b *Base) Act(ctx context.Context, action string, args Args) (Result, error) {
+	b.mu.Lock()
+	a, ok := b.actions[action]
+	b.mu.Unlock()
+	if !ok {
+		return nil, &ErrUnknownAction{Module: b.name, Action: action}
+	}
+	b.setState(StateBusy)
+	res, err := a.run(ctx, args)
+	if err != nil {
+		b.setState(StateError)
+		return nil, fmt.Errorf("wei: %s.%s: %w", b.name, action, err)
+	}
+	b.setState(StateReady)
+	return res, nil
+}
+
+// Reset returns an errored module to ready, as an operator (or the engine's
+// retry path) would.
+func (b *Base) Reset() { b.setState(StateReady) }

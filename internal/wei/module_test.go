@@ -1,0 +1,141 @@
+package wei
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fakeModule is a test module with a scriptable action.
+func fakeModule(name string, fail *int) *Base {
+	b := NewBase(name, "test_device", "a fake device")
+	b.Register(ActionInfo{Name: "ping", Description: "reply"}, func(ctx context.Context, args Args) (Result, error) {
+		if fail != nil && *fail > 0 {
+			*fail--
+			return nil, errors.New("transient device error")
+		}
+		out := Result{"pong": true}
+		if v, ok := args["echo"]; ok {
+			out["echo"] = v
+		}
+		return out, nil
+	})
+	b.Register(ActionInfo{Name: "boom"}, func(ctx context.Context, args Args) (Result, error) {
+		return nil, errors.New("kaboom")
+	})
+	return b
+}
+
+func TestBaseActDispatch(t *testing.T) {
+	m := fakeModule("dev1", nil)
+	res, err := m.Act(context.Background(), "ping", Args{"echo": "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["pong"] != true || res["echo"] != "hi" {
+		t.Fatalf("result = %#v", res)
+	}
+	if m.State() != StateReady {
+		t.Fatalf("state after success = %v", m.State())
+	}
+}
+
+func TestBaseUnknownAction(t *testing.T) {
+	m := fakeModule("dev1", nil)
+	_, err := m.Act(context.Background(), "nope", nil)
+	var ua *ErrUnknownAction
+	if !errors.As(err, &ua) {
+		t.Fatalf("err = %v", err)
+	}
+	if ua.Module != "dev1" || ua.Action != "nope" {
+		t.Fatalf("fields = %+v", ua)
+	}
+}
+
+func TestBaseErrorState(t *testing.T) {
+	m := fakeModule("dev1", nil)
+	if _, err := m.Act(context.Background(), "boom", nil); err == nil {
+		t.Fatal("boom succeeded")
+	}
+	if m.State() != StateError {
+		t.Fatalf("state after failure = %v", m.State())
+	}
+	m.Reset()
+	if m.State() != StateReady {
+		t.Fatalf("state after reset = %v", m.State())
+	}
+}
+
+func TestBaseAbout(t *testing.T) {
+	m := fakeModule("dev1", nil)
+	info := m.About()
+	if info.Name != "dev1" || info.Type != "test_device" {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Actions) != 2 || info.Actions[0].Name != "boom" || info.Actions[1].Name != "ping" {
+		t.Fatalf("actions not sorted: %+v", info.Actions)
+	}
+}
+
+func TestBaseDuplicateActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate action")
+		}
+	}()
+	m := fakeModule("dev1", nil)
+	m.Register(ActionInfo{Name: "ping"}, nil)
+}
+
+func TestRegistryClient(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(fakeModule("a", nil))
+	reg.Add(fakeModule("b", nil))
+	ctx := context.Background()
+	if _, err := reg.Act(ctx, "a", "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := reg.State(ctx, "b")
+	if err != nil || st != StateReady {
+		t.Fatalf("State = %v, %v", st, err)
+	}
+	info, err := reg.About(ctx, "a")
+	if err != nil || info.Name != "a" {
+		t.Fatalf("About = %+v, %v", info, err)
+	}
+	var nm *ErrNoModule
+	if _, err := reg.Act(ctx, "zz", "ping", nil); !errors.As(err, &nm) {
+		t.Fatalf("unknown module err = %v", err)
+	}
+	if len(reg.Names()) != 2 {
+		t.Fatalf("Names = %v", reg.Names())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate module")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Add(fakeModule("a", nil))
+	reg.Add(fakeModule("a", nil))
+}
+
+func TestBaseConcurrentActs(t *testing.T) {
+	m := fakeModule("dev1", nil)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			_, err := m.Act(context.Background(), "ping", Args{"echo": fmt.Sprint(i)})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package wei
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the in-process Client: modules run in the same address space
+// and commands are direct method calls. It is also the module set that
+// ServeModules exposes over HTTP.
+type Registry struct {
+	mu      sync.RWMutex
+	modules map[string]Module
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{modules: make(map[string]Module)}
+}
+
+// Add registers a module. Duplicate names are a programming error.
+func (r *Registry) Add(m Module) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.modules[m.Name()]; dup {
+		panic(fmt.Sprintf("wei: duplicate module %q", m.Name()))
+	}
+	r.modules[m.Name()] = m
+}
+
+// Get looks a module up by name.
+func (r *Registry) Get(name string) (Module, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.modules[name]
+	return m, ok
+}
+
+// Names returns the registered module names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.modules))
+	for n := range r.modules {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ErrNoModule reports a command for an unknown module.
+type ErrNoModule struct{ Module string }
+
+// Error implements error.
+func (e *ErrNoModule) Error() string { return fmt.Sprintf("wei: unknown module %q", e.Module) }
+
+// Act implements Client.
+func (r *Registry) Act(ctx context.Context, module, action string, args Args) (Result, error) {
+	m, ok := r.Get(module)
+	if !ok {
+		return nil, &ErrNoModule{Module: module}
+	}
+	return m.Act(ctx, action, args)
+}
+
+// State implements Client.
+func (r *Registry) State(ctx context.Context, module string) (ModuleState, error) {
+	m, ok := r.Get(module)
+	if !ok {
+		return "", &ErrNoModule{Module: module}
+	}
+	return m.State(), nil
+}
+
+// About implements Client.
+func (r *Registry) About(ctx context.Context, module string) (ModuleInfo, error) {
+	m, ok := r.Get(module)
+	if !ok {
+		return ModuleInfo{}, &ErrNoModule{Module: module}
+	}
+	return m.About(), nil
+}
+
+// The HTTP wire protocol: each module is exposed under /modules/<name>/ with
+//   POST action  {"action": ..., "args": {...}} -> {"result": {...}} | {"error": ...}
+//   GET  state   -> {"state": "ready"}
+//   GET  about   -> ModuleInfo
+// mirroring how WEI module servers expose device drivers on attached
+// computers.
+
+type actRequest struct {
+	Action string `json:"action"`
+	Args   Args   `json:"args,omitempty"`
+}
+
+type actResponse struct {
+	Result Result `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ServeModules returns an http.Handler exposing every module in the
+// registry under /modules/<name>/{action,state,about}.
+func ServeModules(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/modules/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/modules/")
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 {
+			http.Error(w, "bad module path", http.StatusNotFound)
+			return
+		}
+		name, endpoint := parts[0], parts[1]
+		m, ok := reg.Get(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown module %q", name), http.StatusNotFound)
+			return
+		}
+		switch endpoint {
+		case "action":
+			if req.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			var ar actRequest
+			if err := json.NewDecoder(req.Body).Decode(&ar); err != nil {
+				http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			res, err := m.Act(req.Context(), ar.Action, ar.Args)
+			resp := actResponse{Result: res}
+			if err != nil {
+				resp.Error = err.Error()
+			}
+			writeJSON(w, resp)
+		case "state":
+			writeJSON(w, map[string]any{"state": string(m.State())})
+		case "about":
+			writeJSON(w, m.About())
+		default:
+			http.Error(w, "unknown endpoint", http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "modules": reg.Names()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPClient is a Client that reaches modules over HTTP. Each module maps to
+// a base URL (scheme://host:port), so modules can be spread across machines
+// as in the physical workcell.
+type HTTPClient struct {
+	// BaseURL maps module name to server base URL.
+	BaseURL map[string]string
+	// HTTP is the underlying http client (default: 30s timeout).
+	HTTP *http.Client
+}
+
+// NewHTTPClient returns a client for modules all served by one base URL.
+func NewHTTPClient(baseURL string, modules ...string) *HTTPClient {
+	m := make(map[string]string, len(modules))
+	for _, name := range modules {
+		m[name] = baseURL
+	}
+	return &HTTPClient{BaseURL: m, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *HTTPClient) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *HTTPClient) moduleURL(module, endpoint string) (string, error) {
+	base, ok := c.BaseURL[module]
+	if !ok {
+		return "", &ErrNoModule{Module: module}
+	}
+	return fmt.Sprintf("%s/modules/%s/%s", strings.TrimSuffix(base, "/"), module, endpoint), nil
+}
+
+// Act implements Client over HTTP.
+func (c *HTTPClient) Act(ctx context.Context, module, action string, args Args) (Result, error) {
+	url, err := c.moduleURL(module, "action")
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(actRequest{Action: action, Args: args})
+	if err != nil {
+		return nil, fmt.Errorf("wei: encode action request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wei: %s.%s: %w", module, action, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("wei: %s.%s: HTTP %d: %s", module, action, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var ar actResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return nil, fmt.Errorf("wei: decode action response: %w", err)
+	}
+	if ar.Error != "" {
+		return nil, fmt.Errorf("wei: %s.%s: %s", module, action, ar.Error)
+	}
+	return ar.Result, nil
+}
+
+// State implements Client over HTTP.
+func (c *HTTPClient) State(ctx context.Context, module string) (ModuleState, error) {
+	url, err := c.moduleURL(module, "state")
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		State string `json:"state"`
+	}
+	if err := c.getJSON(ctx, url, &out); err != nil {
+		return "", err
+	}
+	return ModuleState(out.State), nil
+}
+
+// About implements Client over HTTP.
+func (c *HTTPClient) About(ctx context.Context, module string) (ModuleInfo, error) {
+	url, err := c.moduleURL(module, "about")
+	if err != nil {
+		return ModuleInfo{}, err
+	}
+	var out ModuleInfo
+	if err := c.getJSON(ctx, url, &out); err != nil {
+		return ModuleInfo{}, err
+	}
+	return out, nil
+}
+
+func (c *HTTPClient) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("wei: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

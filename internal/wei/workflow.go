@@ -1,0 +1,175 @@
+package wei
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"colormatch/internal/yamlite"
+)
+
+// Step is one workflow step: an action performed on a module.
+type Step struct {
+	Name   string
+	Module string
+	Action string
+	Args   yamlite.Map
+}
+
+// WorkflowSpec is a declarative workflow: "Users can specify, again using a
+// declarative notation, workflows that perform sets of actions on modules."
+type WorkflowSpec struct {
+	Name  string
+	Steps []Step
+}
+
+// ParseWorkflow decodes a workflow YAML document.
+func ParseWorkflow(data []byte) (*WorkflowSpec, error) {
+	doc, err := yamlite.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("wei: workflow: %w", err)
+	}
+	root, err := yamlite.AsMap(doc)
+	if err != nil {
+		return nil, fmt.Errorf("wei: workflow: %w", err)
+	}
+	name, err := yamlite.Str(root, "name")
+	if err != nil {
+		return nil, fmt.Errorf("wei: workflow: %w", err)
+	}
+	steps, err := yamlite.SubList(root, "steps")
+	if err != nil {
+		return nil, fmt.Errorf("wei: workflow %q: %w", name, err)
+	}
+	spec := &WorkflowSpec{Name: name}
+	for i, s := range steps {
+		sm, err := yamlite.AsMap(s)
+		if err != nil {
+			return nil, fmt.Errorf("wei: workflow %q step %d: %w", name, i, err)
+		}
+		module, err := yamlite.Str(sm, "module")
+		if err != nil {
+			return nil, fmt.Errorf("wei: workflow %q step %d: %w", name, i, err)
+		}
+		action, err := yamlite.Str(sm, "action")
+		if err != nil {
+			return nil, fmt.Errorf("wei: workflow %q step %d: %w", name, i, err)
+		}
+		stepName, err := yamlite.StrOr(sm, "name", fmt.Sprintf("%s.%s", module, action))
+		if err != nil {
+			return nil, fmt.Errorf("wei: workflow %q step %d: %w", name, i, err)
+		}
+		st := Step{Name: stepName, Module: module, Action: action}
+		if argsV, ok := sm["args"]; ok && argsV != nil {
+			am, err := yamlite.AsMap(argsV)
+			if err != nil {
+				return nil, fmt.Errorf("wei: workflow %q step %q args: %w", name, stepName, err)
+			}
+			st.Args = am
+		}
+		spec.Steps = append(spec.Steps, st)
+	}
+	if len(spec.Steps) == 0 {
+		return nil, fmt.Errorf("wei: workflow %q has no steps", name)
+	}
+	return spec, nil
+}
+
+// LoadWorkflow reads and parses a workflow YAML file.
+func LoadWorkflow(path string) (*WorkflowSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wei: workflow: %w", err)
+	}
+	return ParseWorkflow(data)
+}
+
+// Validate checks that every step's module exists in the workcell.
+// Action-level validation happens at dispatch (modules own their actions).
+func (w *WorkflowSpec) Validate(wc *WorkcellSpec) error {
+	for _, s := range w.Steps {
+		if _, ok := wc.Module(s.Module); !ok {
+			return fmt.Errorf("wei: workflow %q step %q targets unknown module %q",
+				w.Name, s.Name, s.Module)
+		}
+	}
+	return nil
+}
+
+// Retarget returns a copy of the workflow with steps on module `from`
+// redirected to module `to`. It is how an application reuses a workflow on a
+// second, compatible instrument (e.g. a second OT-2).
+func (w *WorkflowSpec) Retarget(from, to string) *WorkflowSpec {
+	out := &WorkflowSpec{Name: w.Name}
+	for _, s := range w.Steps {
+		if s.Module == from {
+			s.Module = to
+		}
+		out.Steps = append(out.Steps, s)
+	}
+	return out
+}
+
+// SubstituteArgs resolves "$param" placeholders in step args against the
+// run parameters. Unresolved placeholders are an error, so workflows cannot
+// silently run with missing inputs.
+func SubstituteArgs(args yamlite.Map, params map[string]any) (Args, error) {
+	if args == nil {
+		return Args{}, nil
+	}
+	out, err := substituteValue(args, params)
+	if err != nil {
+		return nil, err
+	}
+	return out.(map[string]any), nil
+}
+
+func substituteValue(v any, params map[string]any) (any, error) {
+	switch val := v.(type) {
+	case string:
+		if strings.HasPrefix(val, "$") {
+			key := val[1:]
+			p, ok := params[key]
+			if !ok {
+				return nil, fmt.Errorf("wei: unresolved workflow parameter %q", val)
+			}
+			return p, nil
+		}
+		return val, nil
+	case yamlite.Map:
+		out := make(map[string]any, len(val))
+		for k, item := range val {
+			sub, err := substituteValue(item, params)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = sub
+		}
+		return out, nil
+	case yamlite.List:
+		out := make([]any, len(val))
+		for i, item := range val {
+			sub, err := substituteValue(item, params)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sub
+		}
+		return out, nil
+	default:
+		return v, nil
+	}
+}
+
+// Marshal re-encodes the workflow as YAML.
+func (w *WorkflowSpec) Marshal() ([]byte, error) {
+	steps := yamlite.List{}
+	for _, s := range w.Steps {
+		sm := yamlite.Map{"name": s.Name, "module": s.Module, "action": s.Action}
+		if len(s.Args) > 0 {
+			sm["args"] = s.Args
+		}
+		steps = append(steps, sm)
+	}
+	return yamlite.Marshal(yamlite.Map{"name": w.Name, "steps": steps})
+}

@@ -1,0 +1,48 @@
+package yamlite
+
+import "testing"
+
+const benchDoc = `
+name: rpl_workcell
+locations: [sciclops.exchange, camera, ot2.deck, trash]
+modules:
+  - name: sciclops
+    type: plate_crane
+    config: {towers: 4}
+  - name: pf400
+    type: manipulator
+  - name: ot2
+    type: liquid_handler
+    config:
+      reservoirs:
+        - {dye: cyan, capacity: 25000.0}
+        - {dye: magenta, capacity: 25000.0}
+        - {dye: yellow, capacity: 25000.0}
+        - {dye: black, capacity: 25000.0}
+  - name: barty
+    type: liquid_replenisher
+  - name: camera
+    type: camera
+`
+
+func BenchmarkUnmarshalWorkcell(b *testing.B) {
+	data := []byte(benchDoc)
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalWorkcell(b *testing.B) {
+	v, err := Unmarshal([]byte(benchDoc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package yamlite
+
+import (
+	"testing"
+)
+
+func helperDoc(t *testing.T) Map {
+	t.Helper()
+	v := mustParse(t, `
+name: ot2
+port: 2005
+rate: 1.5
+ready: true
+tags: [liquid, handler]
+vols: [1, 2.5, 3]
+config:
+  deck: left
+`)
+	m, err := AsMap(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStrHelpers(t *testing.T) {
+	m := helperDoc(t)
+	if s, err := Str(m, "name"); err != nil || s != "ot2" {
+		t.Fatalf("Str = %q, %v", s, err)
+	}
+	if _, err := Str(m, "missing"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := Str(m, "port"); err == nil {
+		t.Fatal("mistyped key accepted")
+	}
+	if s, err := StrOr(m, "missing", "dflt"); err != nil || s != "dflt" {
+		t.Fatalf("StrOr = %q, %v", s, err)
+	}
+	if _, err := StrOr(m, "port", "dflt"); err == nil {
+		t.Fatal("StrOr mistyped accepted")
+	}
+}
+
+func TestIntFloatBoolHelpers(t *testing.T) {
+	m := helperDoc(t)
+	if n, err := Int(m, "port"); err != nil || n != 2005 {
+		t.Fatalf("Int = %d, %v", n, err)
+	}
+	if _, err := Int(m, "rate"); err == nil {
+		t.Fatal("float as int accepted")
+	}
+	if n, err := IntOr(m, "nope", 7); err != nil || n != 7 {
+		t.Fatalf("IntOr = %d, %v", n, err)
+	}
+	if f, err := Float(m, "rate"); err != nil || f != 1.5 {
+		t.Fatalf("Float = %v, %v", f, err)
+	}
+	if f, err := Float(m, "port"); err != nil || f != 2005 {
+		t.Fatalf("Float widening = %v, %v", f, err)
+	}
+	if f, err := FloatOr(m, "nope", 9.5); err != nil || f != 9.5 {
+		t.Fatalf("FloatOr = %v, %v", f, err)
+	}
+	if b, err := Bool(m, "ready"); err != nil || !b {
+		t.Fatalf("Bool = %v, %v", b, err)
+	}
+	if b, err := BoolOr(m, "nope", true); err != nil || !b {
+		t.Fatalf("BoolOr = %v, %v", b, err)
+	}
+	if _, err := Bool(m, "name"); err == nil {
+		t.Fatal("string as bool accepted")
+	}
+}
+
+func TestCollectionHelpers(t *testing.T) {
+	m := helperDoc(t)
+	sub, err := SubMap(m, "config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub["deck"] != "left" {
+		t.Fatalf("SubMap = %#v", sub)
+	}
+	if _, err := SubMap(m, "tags"); err == nil {
+		t.Fatal("list as map accepted")
+	}
+	if _, err := SubMap(m, "nope"); err == nil {
+		t.Fatal("missing map accepted")
+	}
+	l, err := SubList(m, "tags")
+	if err != nil || len(l) != 2 {
+		t.Fatalf("SubList = %#v, %v", l, err)
+	}
+	ss, err := StringList(m, "tags")
+	if err != nil || ss[0] != "liquid" || ss[1] != "handler" {
+		t.Fatalf("StringList = %#v, %v", ss, err)
+	}
+	if _, err := StringList(m, "vols"); err == nil {
+		t.Fatal("numeric list as strings accepted")
+	}
+	fs, err := FloatList(m, "vols")
+	if err != nil || fs[0] != 1 || fs[1] != 2.5 || fs[2] != 3 {
+		t.Fatalf("FloatList = %#v, %v", fs, err)
+	}
+	if _, err := FloatList(m, "tags"); err == nil {
+		t.Fatal("string list as floats accepted")
+	}
+	if _, err := AsList("scalar"); err == nil {
+		t.Fatal("scalar as list accepted")
+	}
+}

@@ -1,0 +1,630 @@
+// Package yamlite implements the YAML subset used by this repository's
+// declarative workcell and workflow files.
+//
+// The WEI platform the paper builds on specifies workcells and workflows in
+// YAML ("a declarative YAML notation is used to specify how a workcell is
+// configured from a set of modules"). This repository is restricted to the
+// standard library, so yamlite provides the needed subset from scratch:
+//
+//   - block mappings and sequences nested by indentation (spaces only)
+//   - plain, single-quoted and double-quoted scalars
+//   - ints, floats, booleans, null
+//   - flow sequences [a, b, c] and flow mappings {k: v} of scalars
+//   - full-line and trailing comments
+//
+// Anchors, aliases, tags, multi-document streams, and block scalars are
+// deliberately out of scope; the config files in this repository do not use
+// them.
+//
+// Values decode to map[string]any, []any, string, int64, float64, bool and
+// nil. Marshal writes mappings with sorted keys so output is deterministic.
+package yamlite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Map is the decoded form of a YAML mapping.
+type Map = map[string]any
+
+// List is the decoded form of a YAML sequence.
+type List = []any
+
+// SyntaxError describes a parse failure with its 1-based source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("yamlite: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type srcLine struct {
+	indent  int
+	content string // trimmed, comment-stripped, non-empty
+	num     int    // 1-based source line number
+}
+
+// Unmarshal parses a yamlite document. An empty (or all-comment) document
+// decodes to nil.
+func Unmarshal(data []byte) (any, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseValue(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errf(l.num, "unexpected content %q (bad indentation?)", l.content)
+	}
+	return v, nil
+}
+
+// splitLines strips comments and blanks and computes indentation.
+func splitLines(s string) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(s, "\n") {
+		num := i + 1
+		// Reject tabs in indentation (tabs inside values are allowed).
+		if strings.HasPrefix(strings.TrimLeft(raw, " "), "\t") {
+			return nil, errf(num, "tab character in indentation")
+		}
+		content := stripComment(raw)
+		trimmed := strings.TrimRight(strings.TrimLeft(content, " "), " ")
+		if trimmed == "" {
+			continue
+		}
+		indent := len(content) - len(strings.TrimLeft(content, " "))
+		out = append(out, srcLine{indent: indent, content: trimmed, num: num})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment that is not inside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if inDouble && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inDouble = !inDouble
+		case c == '#' && !inSingle && !inDouble:
+			// YAML requires a comment '#' to be at line start or preceded by
+			// whitespace.
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) peek() (srcLine, bool) {
+	if p.pos >= len(p.lines) {
+		return srcLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseValue parses the block starting at the current position, which must be
+// indented exactly at indent.
+func (p *parser) parseValue(indent int) (any, error) {
+	l, ok := p.peek()
+	if !ok {
+		return nil, nil
+	}
+	if l.indent != indent {
+		return nil, errf(l.num, "expected indentation %d, got %d", indent, l.indent)
+	}
+	if isSeqItem(l.content) {
+		return p.parseSeq(indent)
+	}
+	if _, _, ok := splitKey(l.content); ok {
+		return p.parseMap(indent)
+	}
+	// A bare scalar document (single line).
+	p.pos++
+	return parseScalar(l.content, l.num)
+}
+
+func isSeqItem(content string) bool {
+	return content == "-" || strings.HasPrefix(content, "- ")
+}
+
+// splitKey splits "key: value" or "key:"; returns ok=false if the content is
+// not a mapping entry. Quoted keys are supported.
+func splitKey(content string) (key, rest string, ok bool) {
+	if content == "" {
+		return "", "", false
+	}
+	if content[0] == '\'' || content[0] == '"' {
+		q := content[0]
+		for i := 1; i < len(content); i++ {
+			if content[i] == q && (q != '"' || content[i-1] != '\\') {
+				after := content[i+1:]
+				if after == ":" {
+					return content[1:i], "", true
+				}
+				if strings.HasPrefix(after, ": ") {
+					return content[1:i], strings.TrimSpace(after[2:]), true
+				}
+				return "", "", false
+			}
+		}
+		return "", "", false
+	}
+	// Find the first ": " or trailing ":" outside of flow brackets.
+	depth := 0
+	for i := 0; i < len(content); i++ {
+		switch content[i] {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ':':
+			if depth > 0 {
+				continue
+			}
+			if i == len(content)-1 {
+				return strings.TrimSpace(content[:i]), "", true
+			}
+			if content[i+1] == ' ' {
+				return strings.TrimSpace(content[:i]), strings.TrimSpace(content[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func (p *parser) parseMap(indent int) (any, error) {
+	m := Map{}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return m, nil
+		}
+		if l.indent > indent {
+			return nil, errf(l.num, "unexpected indentation %d inside mapping at %d", l.indent, indent)
+		}
+		if isSeqItem(l.content) {
+			return nil, errf(l.num, "sequence item in mapping context")
+		}
+		key, rest, ok := splitKey(l.content)
+		if !ok {
+			return nil, errf(l.num, "expected 'key: value', got %q", l.content)
+		}
+		if _, dup := m[key]; dup {
+			return nil, errf(l.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Value is a nested block (or null if nothing deeper follows).
+		child, ok2 := p.peek()
+		if !ok2 || child.indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, err := p.parseValue(child.indent)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+}
+
+func (p *parser) parseSeq(indent int) (any, error) {
+	var seq List
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return seq, nil
+		}
+		if l.indent > indent {
+			return nil, errf(l.num, "unexpected indentation %d inside sequence at %d", l.indent, indent)
+		}
+		if !isSeqItem(l.content) {
+			return seq, nil
+		}
+		if l.content == "-" {
+			// Item is a nested block on following lines.
+			p.pos++
+			child, ok2 := p.peek()
+			if !ok2 || child.indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseValue(child.indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		rest := strings.TrimSpace(l.content[2:])
+		restIndent := l.indent + (len(l.content) - len(rest))
+		if key, krest, ok := splitKey(rest); ok {
+			// "- key: value" starts an inline mapping item whose further keys
+			// sit at restIndent on the following lines. Splice a synthetic
+			// line and parse a mapping.
+			_ = key
+			_ = krest
+			p.lines[p.pos] = srcLine{indent: restIndent, content: rest, num: l.num}
+			v, err := p.parseMap(restIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		// Plain scalar item.
+		p.pos++
+		v, err := parseScalar(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+}
+
+// parseScalar parses a scalar or flow collection.
+func parseScalar(s string, line int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseFlowSeq(s, line)
+	case s[0] == '{':
+		return parseFlowMap(s, line)
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, errf(line, "unterminated single-quoted string %q", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s[0] == '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return nil, errf(line, "unterminated double-quoted string %q", s)
+		}
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, errf(line, "bad double-quoted string %s: %v", s, err)
+		}
+		return unq, nil
+	}
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		// Plain YAML floats only: reject forms like "0x1p4".
+		if !strings.ContainsAny(s, "xXpP_") {
+			return f, nil
+		}
+	}
+	return s, nil
+}
+
+// splitFlowItems splits the interior of a flow collection on top-level commas.
+func splitFlowItems(s string, line int) ([]string, error) {
+	var items []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle && (i == 0 || s[i-1] != '\\'):
+			inDouble = !inDouble
+		case inSingle || inDouble:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth < 0 {
+				return nil, errf(line, "unbalanced brackets in flow collection")
+			}
+		case c == ',' && depth == 0:
+			items = append(items, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || inSingle || inDouble {
+		return nil, errf(line, "unterminated flow collection")
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		items = append(items, last)
+	}
+	return items, nil
+}
+
+func parseFlowSeq(s string, line int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, errf(line, "unterminated flow sequence %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return List{}, nil
+	}
+	items, err := splitFlowItems(inner, line)
+	if err != nil {
+		return nil, err
+	}
+	out := make(List, 0, len(items))
+	for _, it := range items {
+		v, err := parseScalar(it, line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFlowMap(s string, line int) (any, error) {
+	if !strings.HasSuffix(s, "}") {
+		return nil, errf(line, "unterminated flow mapping %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := Map{}
+	if inner == "" {
+		return out, nil
+	}
+	items, err := splitFlowItems(inner, line)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		key, rest, ok := splitKey(it)
+		if !ok {
+			// Allow "key:value" without space inside flow maps.
+			if idx := strings.Index(it, ":"); idx > 0 {
+				key, rest, ok = strings.TrimSpace(it[:idx]), strings.TrimSpace(it[idx+1:]), true
+			}
+		}
+		if !ok {
+			return nil, errf(line, "bad flow mapping entry %q", it)
+		}
+		v, err := parseScalar(rest, line)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// Marshal encodes v as a yamlite document. Mappings are written with sorted
+// keys; map keys must be strings. Supported value types: Map/List and the
+// scalar types produced by Unmarshal, plus int and float32 for convenience.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encode(&b, v, 0); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+func encode(b *strings.Builder, v any, indent int) error {
+	pad := strings.Repeat(" ", indent)
+	switch val := v.(type) {
+	case Map:
+		if len(val) == 0 {
+			b.WriteString(pad + "{}\n")
+			return nil
+		}
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			child := val[k]
+			if isScalar(child) {
+				b.WriteString(pad + encodeKey(k) + ": " + encodeScalar(child) + "\n")
+			} else if isEmptyCollection(child) {
+				b.WriteString(pad + encodeKey(k) + ": " + emptyCollection(child) + "\n")
+			} else {
+				b.WriteString(pad + encodeKey(k) + ":\n")
+				if err := encode(b, child, indent+2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case List:
+		if len(val) == 0 {
+			b.WriteString(pad + "[]\n")
+			return nil
+		}
+		for _, item := range val {
+			if isScalar(item) {
+				b.WriteString(pad + "- " + encodeScalar(item) + "\n")
+			} else if isEmptyCollection(item) {
+				b.WriteString(pad + "- " + emptyCollection(item) + "\n")
+			} else if m, ok := item.(Map); ok {
+				// Inline the first key after the dash.
+				keys := make([]string, 0, len(m))
+				for k := range m {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				first := keys[0]
+				if isScalar(m[first]) {
+					b.WriteString(pad + "- " + encodeKey(first) + ": " + encodeScalar(m[first]) + "\n")
+				} else if isEmptyCollection(m[first]) {
+					b.WriteString(pad + "- " + encodeKey(first) + ": " + emptyCollection(m[first]) + "\n")
+				} else {
+					b.WriteString(pad + "- " + encodeKey(first) + ":\n")
+					if err := encode(b, m[first], indent+4); err != nil {
+						return err
+					}
+				}
+				rest := Map{}
+				for _, k := range keys[1:] {
+					rest[k] = m[k]
+				}
+				if len(rest) > 0 {
+					if err := encode(b, rest, indent+2); err != nil {
+						return err
+					}
+				}
+			} else {
+				b.WriteString(pad + "-\n")
+				if err := encode(b, item, indent+2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		if isScalar(v) {
+			b.WriteString(pad + encodeScalar(v) + "\n")
+			return nil
+		}
+		return fmt.Errorf("yamlite: cannot marshal %T", v)
+	}
+}
+
+func isEmptyCollection(v any) bool {
+	switch val := v.(type) {
+	case Map:
+		return len(val) == 0
+	case List:
+		return len(val) == 0
+	}
+	return false
+}
+
+func emptyCollection(v any) string {
+	if _, ok := v.(Map); ok {
+		return "{}"
+	}
+	return "[]"
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case nil, string, bool, int, int64, float64, float32:
+		return true
+	}
+	return false
+}
+
+func encodeKey(k string) string {
+	if needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+func encodeScalar(v any) string {
+	switch val := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(val)
+	case int:
+		return strconv.Itoa(val)
+	case int64:
+		return strconv.FormatInt(val, 10)
+	case float32:
+		return formatFloat(float64(val))
+	case float64:
+		return formatFloat(val)
+	case string:
+		if needsQuoting(val) {
+			return strconv.Quote(val)
+		}
+		return val
+	default:
+		return fmt.Sprintf("%v", val)
+	}
+}
+
+// formatFloat keeps floats recognizable as floats on re-parse.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return ".inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-.inf"
+	}
+	if math.IsNaN(f) {
+		return ".nan"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// needsQuoting reports whether a plain string would be misparsed.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	switch s {
+	case "null", "~", "true", "false", "True", "False", "Null", "TRUE", "FALSE", "NULL":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	if strings.ContainsAny(s, ":#{}[]\"'\n,") {
+		return true
+	}
+	if s != strings.TrimSpace(s) {
+		return true
+	}
+	if strings.HasPrefix(s, "- ") || s == "-" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package yamlite
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Unmarshal([]byte(src))
+	if err != nil {
+		t.Fatalf("Unmarshal(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestScalars(t *testing.T) {
+	cases := map[string]any{
+		"hello":         "hello",
+		"42":            int64(42),
+		"-17":           int64(-17),
+		"3.5":           3.5,
+		"-0.25":         -0.25,
+		"1e3":           1000.0,
+		"true":          true,
+		"False":         false,
+		"null":          nil,
+		"~":             nil,
+		"'quoted str'":  "quoted str",
+		`"dq \"str\""`:  `dq "str"`,
+		"'it''s'":       "it's",
+		"plain string":  "plain string",
+		"v1.2.3":        "v1.2.3",
+		"00:30":         "00:30",
+		`"120"`:         "120",
+		"[1, 2, 3]":     List{int64(1), int64(2), int64(3)},
+		"[]":            List{},
+		"{}":            Map{},
+		"{a: 1, b: x}":  Map{"a": int64(1), "b": "x"},
+		"[a, [b, c]]":   List{"a", List{"b", "c"}},
+		"{k: [1, 2]}":   Map{"k": List{int64(1), int64(2)}},
+		"[ 'x, y', z ]": List{"x, y", "z"},
+	}
+	for src, want := range cases {
+		got := mustParse(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parse %q = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# only a comment\n", "   \n# c\n"} {
+		if v := mustParse(t, src); v != nil {
+			t.Errorf("empty doc %q parsed to %#v", src, v)
+		}
+	}
+}
+
+func TestSimpleMapping(t *testing.T) {
+	v := mustParse(t, "name: rpl_workcell\nversion: 3\nactive: true\n")
+	want := Map{"name": "rpl_workcell", "version": int64(3), "active": true}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestNestedMapping(t *testing.T) {
+	src := `
+config:
+  host: localhost
+  port: 8000
+  limits:
+    timeout: 2.5
+`
+	v := mustParse(t, src)
+	want := Map{"config": Map{
+		"host": "localhost", "port": int64(8000),
+		"limits": Map{"timeout": 2.5},
+	}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	src := `
+modules:
+  - sciclops
+  - pf400
+  - ot2
+`
+	v := mustParse(t, src)
+	want := Map{"modules": List{"sciclops", "pf400", "ot2"}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestSequenceOfMappings(t *testing.T) {
+	src := `
+steps:
+  - name: get_plate
+    module: sciclops
+    args:
+      tower: 1
+  - name: transfer
+    module: pf400
+`
+	v := mustParse(t, src)
+	want := Map{"steps": List{
+		Map{"name": "get_plate", "module": "sciclops", "args": Map{"tower": int64(1)}},
+		Map{"name": "transfer", "module": "pf400"},
+	}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestTopLevelSequence(t *testing.T) {
+	v := mustParse(t, "- a\n- b\n")
+	if !reflect.DeepEqual(v, List{"a", "b"}) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestDashOnlyItems(t *testing.T) {
+	src := `
+-
+  name: x
+-
+  name: y
+`
+	v := mustParse(t, src)
+	want := List{Map{"name": "x"}, Map{"name": "y"}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+# workcell definition
+name: rpl # the RPL workcell
+count: 5 # five modules
+url: "http://x#y"   # fragment is not a comment
+`
+	v := mustParse(t, src)
+	want := Map{"name": "rpl", "count": int64(5), "url": "http://x#y"}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestNullValues(t *testing.T) {
+	v := mustParse(t, "a:\nb: 1\n")
+	want := Map{"a": nil, "b": int64(1)}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `
+a:
+  b:
+    c:
+      - d: 1
+        e:
+          - 2
+          - f: 3
+`
+	v := mustParse(t, src)
+	want := Map{"a": Map{"b": Map{"c": List{
+		Map{"d": int64(1), "e": List{int64(2), Map{"f": int64(3)}}},
+	}}}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"a: 1\n\tb: 2\n",     // tab indentation
+		"a: 1\na: 2\n",       // duplicate key
+		"a: 1\n   b: 2\n",    // bad indentation inside mapping
+		"key: [1, 2\n",       // unterminated flow
+		"key: 'oops\n",       // unterminated quote
+		"- a\nkey: v\n- b\n", // mixing seq and map at same level is two docs
+	}
+	for _, src := range cases {
+		if _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Unmarshal([]byte("ok: 1\nbroken: 'x\n"))
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Fatalf("message %q lacks line", se.Error())
+	}
+}
+
+func TestMarshalRoundTripDocuments(t *testing.T) {
+	docs := []any{
+		Map{"name": "rpl", "modules": List{
+			Map{"name": "sciclops", "type": "plate_crane", "config": Map{"towers": int64(4)}},
+			Map{"name": "ot2", "type": "liquid_handler", "volumes": List{10.5, 20.0}},
+		}},
+		List{"a", int64(1), 2.5, true, nil},
+		Map{"empty_map": Map{}, "empty_list": List{}, "s": "x: y", "n": "120"},
+		Map{"nested": List{List{int64(1), int64(2)}, Map{"k": nil}}},
+		"just a scalar",
+		Map{"weird keys": Map{"a:b": int64(1), "- c": int64(2), "": int64(3)}},
+	}
+	for i, doc := range docs {
+		data, err := Marshal(doc)
+		if err != nil {
+			t.Fatalf("doc %d: Marshal: %v", i, err)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("doc %d: Unmarshal(%q): %v", i, data, err)
+		}
+		if !reflect.DeepEqual(back, doc) {
+			t.Fatalf("doc %d round trip:\n%s\ngot  %#v\nwant %#v", i, data, back, doc)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	doc := Map{"z": int64(1), "a": int64(2), "m": List{"x"}}
+	d1, _ := Marshal(doc)
+	d2, _ := Marshal(doc)
+	if string(d1) != string(d2) {
+		t.Fatal("Marshal not deterministic")
+	}
+	// Sorted keys: a before m before z.
+	s := string(d1)
+	if !(strings.Index(s, "a:") < strings.Index(s, "m:") && strings.Index(s, "m:") < strings.Index(s, "z:")) {
+		t.Fatalf("keys not sorted:\n%s", s)
+	}
+}
+
+func TestMarshalFloatsStayFloats(t *testing.T) {
+	doc := Map{"v": 2.0}
+	data, _ := Marshal(doc)
+	back := mustParse(t, string(data)).(Map)
+	if _, ok := back["v"].(float64); !ok {
+		t.Fatalf("2.0 round-tripped as %T (%s)", back["v"], data)
+	}
+}
+
+func TestMarshalRejectsUnsupported(t *testing.T) {
+	if _, err := Marshal(Map{"ch": make(chan int)}); err == nil {
+		t.Fatal("channel marshaled")
+	}
+}
+
+func TestWorkcellShapedDocument(t *testing.T) {
+	// A realistic workcell file exercising most constructs together.
+	src := `
+name: rpl_workcell
+config:
+  publish: true
+modules:
+  - name: sciclops          # plate crane
+    type: plate_crane
+    config: {towers: 4, plates_per_tower: 20}
+  - name: pf400
+    type: manipulator
+    locations: [camera, ot2, sciclops.exchange, trash]
+  - name: ot2
+    type: liquid_handler
+    config:
+      reservoirs:
+        - {dye: cyan, capacity: 25000.0}
+        - {dye: black, capacity: 25000.0}
+`
+	v := mustParse(t, src)
+	root, err := AsMap(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := SubList(root, "modules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 3 {
+		t.Fatalf("modules = %d", len(mods))
+	}
+	m0 := mods[0].(Map)
+	if m0["name"] != "sciclops" || m0["type"] != "plate_crane" {
+		t.Fatalf("module 0 = %#v", m0)
+	}
+	cfg := m0["config"].(Map)
+	if cfg["towers"] != int64(4) {
+		t.Fatalf("towers = %#v", cfg["towers"])
+	}
+	m1 := mods[1].(Map)
+	locs := m1["locations"].(List)
+	if len(locs) != 4 || locs[2] != "sciclops.exchange" {
+		t.Fatalf("locations = %#v", locs)
+	}
+	m2 := mods[2].(Map)
+	res := m2["config"].(Map)["reservoirs"].(List)
+	if res[1].(Map)["dye"] != "black" || res[1].(Map)["capacity"] != 25000.0 {
+		t.Fatalf("reservoirs = %#v", res)
+	}
+}
