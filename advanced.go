@@ -7,9 +7,11 @@ package colormatch
 // or attach a custom solver, fault plan, or portal.
 
 import (
+	"context"
 	"net/http"
 
 	"colormatch/internal/core"
+	"colormatch/internal/fleet"
 	"colormatch/internal/flow"
 	"colormatch/internal/portal"
 	"colormatch/internal/sim"
@@ -97,4 +99,23 @@ type FaultPlan = sim.FaultPlan
 // InjectFaults attaches a fault injector to an engine.
 func InjectFaults(engine *Engine, plan FaultPlan, seed int64) {
 	engine.Faults = sim.NewInjector(plan, sim.NewRNG(seed))
+}
+
+// FleetCampaign describes one campaign queued on the fleet scheduler.
+type FleetCampaign = fleet.Campaign
+
+// FleetOptions configure a fleet run (pool size, batch, faults, publishing).
+type FleetOptions = fleet.Options
+
+// FleetResult is a fleet run's outcome: per-campaign results, per-workcell
+// utilization, virtual-time makespan, and speedup over a sequential
+// single-workcell baseline.
+type FleetResult = fleet.Result
+
+// RunFleet executes campaigns concurrently across a pool of simulated
+// workcells: the next free workcell takes the next queued campaign,
+// campaigns failing on a sick workcell are rescheduled onto healthy ones,
+// and cancellation drains at workflow-step boundaries.
+func RunFleet(ctx context.Context, campaigns []FleetCampaign, opts FleetOptions) (*FleetResult, error) {
+	return fleet.Run(ctx, campaigns, opts)
 }

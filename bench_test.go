@@ -14,12 +14,14 @@
 package colormatch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"testing"
 
 	"colormatch/internal/experiments"
+	"colormatch/internal/fleet"
 	"colormatch/internal/sim"
 	"colormatch/internal/solver/bayes"
 	"colormatch/internal/solver/ga"
@@ -163,6 +165,54 @@ func BenchmarkMultiOT2(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(ccwhRatio, "ccwh-ratio")
+}
+
+// fleetCampaigns builds the fleet benchmark workload: n equal campaigns
+// with the GA solver and a per-campaign sample budget.
+func fleetCampaigns(n, samples int) []fleet.Campaign {
+	campaigns := make([]fleet.Campaign, n)
+	for i := range campaigns {
+		campaigns[i] = fleet.Campaign{Config: Config{TotalSamples: samples}}
+	}
+	return campaigns
+}
+
+// BenchmarkFleet measures the fleet campaign scheduler on the concurrency
+// workload: 8 campaigns across 1 vs 4 workcells. Makespan is the busiest
+// workcell's virtual time (robot wall-clock), so the reported speedup —
+// sequential baseline over makespan — reflects fleet scheduling and is
+// independent of host CPU count. Expected shape: ~1.0 speedup at one
+// workcell, approaching 4 at four.
+func BenchmarkFleet(b *testing.B) {
+	n := benchSamples(16)
+	for _, m := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workcells=%d", m), func(b *testing.B) {
+			var makespan, speedup, util float64
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(context.Background(), fleetCampaigns(8, n), fleet.Options{
+					Workcells: m,
+					Batch:     4,
+					Seed:      2023 + int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 8 {
+					b.Fatalf("completed %d of 8 campaigns", res.Completed)
+				}
+				makespan = res.Makespan.Minutes()
+				speedup = res.Speedup
+				util = 0
+				for _, wc := range res.Workcells {
+					util += wc.Utilization
+				}
+				util /= float64(len(res.Workcells))
+			}
+			b.ReportMetric(makespan, "makespan-min")
+			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(util, "utilization")
+		})
+	}
 }
 
 // BenchmarkFaultResilience measures the retry machinery under command

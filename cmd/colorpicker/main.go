@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 
 	"colormatch/internal/color"
 	"colormatch/internal/core"
@@ -40,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 
-	target, err := parseHexColor(*targetHex)
+	target, err := color.ParseHex(*targetHex)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,17 +106,6 @@ func main() {
 			fatal(err)
 		}
 	}
-}
-
-func parseHexColor(s string) (color.RGB8, error) {
-	if len(s) != 6 {
-		return color.RGB8{}, fmt.Errorf("target must be RRGGBB hex, got %q", s)
-	}
-	v, err := strconv.ParseUint(s, 16, 32)
-	if err != nil {
-		return color.RGB8{}, fmt.Errorf("target %q: %v", s, err)
-	}
-	return color.RGB8{R: uint8(v >> 16), G: uint8(v >> 8), B: uint8(v)}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,167 @@
+// Command fleet runs N independent color-matching campaigns concurrently
+// across a pool of M simulated workcells and prints a JSON summary: campaign
+// outcomes, per-workcell utilization, fleet makespan in virtual workcell
+// time, and the speedup over a sequential single-workcell baseline.
+//
+//	fleet -campaigns 8 -workcells 4
+//	fleet -campaigns 8 -workcells 4 -solver bayesian -batch 8 -samples 64
+//	fleet -campaigns 4 -workcells 2 -faults 0.05 -publish
+//
+// All timing is measured on the workcells' virtual clocks (robot wall-clock,
+// the quantity the paper benchmarks), so the reported speedup reflects fleet
+// scheduling, not host CPU count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"colormatch/internal/color"
+	"colormatch/internal/core"
+	"colormatch/internal/fleet"
+	"colormatch/internal/sim"
+)
+
+func main() {
+	var (
+		nCampaigns = flag.Int("campaigns", 8, "number of independent campaigns N")
+		nWorkcells = flag.Int("workcells", 2, "size of the simulated workcell pool M")
+		solverName = flag.String("solver", "genetic", "solver: genetic|genetic-grid|bayesian|random|grid")
+		batch      = flag.Int("batch", 4, "proposals requested from each solver at once (batch size k)")
+		samples    = flag.Int("samples", 32, "sample budget per campaign")
+		seed       = flag.Int64("seed", 1, "base seed for workcells and campaigns")
+		targetHex  = flag.String("target", "787878", "target color as RRGGBB hex")
+		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell")
+		publish    = flag.Bool("publish", false, "publish campaign records and a fleet summary to an in-memory portal")
+		compact    = flag.Bool("compact", false, "emit compact JSON instead of indented")
+	)
+	flag.Parse()
+
+	target, err := color.ParseHex(*targetHex)
+	if err != nil {
+		fatal(err)
+	}
+	campaigns := buildCampaigns(*nCampaigns, *solverName, target, *samples)
+	res, err := fleet.Run(context.Background(), campaigns, fleet.Options{
+		Workcells: *nWorkcells,
+		Batch:     *batch,
+		Seed:      *seed,
+		Publish:   *publish,
+		Faults:    sim.FaultPlan{PReceive: *faultRate},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if !*compact {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(summarize(res, *nWorkcells)); err != nil {
+		fatal(err)
+	}
+	if res.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildCampaigns prepares n campaigns sharing a solver, target and budget.
+func buildCampaigns(n int, solverName string, target color.RGB8, samples int) []fleet.Campaign {
+	campaigns := make([]fleet.Campaign, n)
+	for i := range campaigns {
+		campaigns[i] = fleet.Campaign{
+			Solver: solverName,
+			Config: core.Config{Target: target, TotalSamples: samples},
+		}
+	}
+	return campaigns
+}
+
+// summary is the CLI's JSON output shape; durations are reported in seconds
+// of virtual workcell time.
+type summary struct {
+	Campaigns         int               `json:"campaigns"`
+	Workcells         int               `json:"workcells"`
+	Completed         int               `json:"completed"`
+	Failed            int               `json:"failed"`
+	Canceled          int               `json:"canceled"`
+	Samples           int               `json:"samples"`
+	Faults            int               `json:"faults"`
+	MakespanSeconds   float64           `json:"makespan_seconds"`
+	SequentialSeconds float64           `json:"sequential_seconds"`
+	Speedup           float64           `json:"speedup_vs_sequential"`
+	CampaignsPerHour  float64           `json:"campaigns_per_hour"`
+	PerWorkcell       []workcellSummary `json:"per_workcell"`
+	PerCampaign       []campaignSummary `json:"per_campaign"`
+}
+
+type workcellSummary struct {
+	Index       int     `json:"index"`
+	Campaigns   int     `json:"campaigns"`
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+	Faults      int     `json:"faults"`
+	Retired     bool    `json:"retired,omitempty"`
+}
+
+type campaignSummary struct {
+	Name        string  `json:"name"`
+	Status      string  `json:"status"`
+	Workcell    int     `json:"workcell"`
+	Attempts    int     `json:"attempts"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Samples     int     `json:"samples"`
+	Best        float64 `json:"best_score"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// summarize converts a fleet result into the CLI output shape.
+func summarize(res *fleet.Result, workcells int) summary {
+	s := summary{
+		Campaigns:         len(res.Campaigns),
+		Workcells:         workcells,
+		Completed:         res.Completed,
+		Failed:            res.Failed,
+		Canceled:          res.Canceled,
+		Samples:           res.Samples,
+		Faults:            res.Faults,
+		MakespanSeconds:   res.Makespan.Seconds(),
+		SequentialSeconds: res.SequentialWall.Seconds(),
+		Speedup:           res.Speedup,
+		CampaignsPerHour:  res.Throughput,
+	}
+	for _, wc := range res.Workcells {
+		s.PerWorkcell = append(s.PerWorkcell, workcellSummary{
+			Index:       wc.Index,
+			Campaigns:   wc.Campaigns,
+			BusySeconds: wc.Busy.Seconds(),
+			Utilization: wc.Utilization,
+			Faults:      wc.Faults,
+			Retired:     wc.Retired,
+		})
+	}
+	for _, cr := range res.Campaigns {
+		cs := campaignSummary{
+			Name:        cr.Campaign.Name,
+			Status:      string(cr.Status),
+			Workcell:    cr.Workcell,
+			Attempts:    cr.Attempts,
+			WallSeconds: cr.Wall.Seconds(),
+			Samples:     cr.Samples,
+			Best:        cr.Best,
+		}
+		if cr.Err != nil {
+			cs.Error = cr.Err.Error()
+		}
+		s.PerCampaign = append(s.PerCampaign, cs)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

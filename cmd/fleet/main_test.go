@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"colormatch/internal/color"
+	"colormatch/internal/fleet"
+)
+
+func TestSummarizeEndToEnd(t *testing.T) {
+	target, _ := color.ParseHex("787878")
+	campaigns := buildCampaigns(2, "random", target, 8)
+	if len(campaigns) != 2 || campaigns[0].Solver != "random" {
+		t.Fatalf("campaigns = %+v", campaigns)
+	}
+	res, err := fleet.Run(context.Background(), campaigns, fleet.Options{
+		Workcells: 2, Batch: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summarize(res, 2)
+	if s.Campaigns != 2 || s.Workcells != 2 || s.Completed != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MakespanSeconds <= 0 || s.Speedup <= 0 {
+		t.Fatalf("timing missing: %+v", s)
+	}
+	if len(s.PerWorkcell) != 2 || len(s.PerCampaign) != 2 {
+		t.Fatalf("breakdowns missing: %+v", s)
+	}
+	for _, c := range s.PerCampaign {
+		if c.Status != string(fleet.StatusCompleted) || c.Samples != 8 {
+			t.Fatalf("campaign summary = %+v", c)
+		}
+	}
+}

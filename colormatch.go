@@ -73,6 +73,10 @@ type Sample = solver.Sample
 // it to plug a custom optimizer into the loop.
 type Solver = solver.Solver
 
+// BatchProposer optionally extends Solver for batch-aware decision
+// procedures: the loop asks for the whole batch in one ProposeBatch call.
+type BatchProposer = solver.BatchProposer
+
 // PortalStore is the in-memory data portal records land in when publishing
 // is enabled.
 type PortalStore = portal.Store

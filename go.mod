@@ -1,0 +1,3 @@
+module colormatch
+
+go 1.24

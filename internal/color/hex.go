@@ -1,0 +1,19 @@
+package color
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseHex parses an RRGGBB hex string (no leading '#') into an RGB8 — the
+// target-color flag format shared by cmd/colorpicker and cmd/fleet.
+func ParseHex(s string) (RGB8, error) {
+	if len(s) != 6 {
+		return RGB8{}, fmt.Errorf("color: want RRGGBB hex, got %q", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 32)
+	if err != nil {
+		return RGB8{}, fmt.Errorf("color: hex %q: %v", s, err)
+	}
+	return RGB8{R: uint8(v >> 16), G: uint8(v >> 8), B: uint8(v)}, nil
+}

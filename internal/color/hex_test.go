@@ -1,18 +1,18 @@
-package main
+package color
 
 import "testing"
 
-func TestParseHexColor(t *testing.T) {
-	c, err := parseHexColor("787878")
+func TestParseHex(t *testing.T) {
+	c, err := ParseHex("787878")
 	if err != nil || c.R != 0x78 || c.G != 0x78 || c.B != 0x78 {
 		t.Fatalf("parse = %+v, %v", c, err)
 	}
-	c, err = parseHexColor("0a1B2c")
+	c, err = ParseHex("0a1B2c")
 	if err != nil || c.R != 0x0a || c.G != 0x1b || c.B != 0x2c {
 		t.Fatalf("parse = %+v, %v", c, err)
 	}
 	for _, bad := range []string{"", "fff", "7878789", "ggggggg", "xyzxyz"} {
-		if _, err := parseHexColor(bad); err == nil {
+		if _, err := ParseHex(bad); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
 	}

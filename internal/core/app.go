@@ -273,8 +273,11 @@ func (a *App) Run(ctx context.Context) (*Result, error) {
 			return res, err
 		}
 
-		// Solver proposes the batch (step 1 of §2.1).
-		proposals := a.Solver.Propose(batch)
+		// Solver proposes the batch (step 1 of §2.1). ProposeN routes through
+		// the BatchProposer seam: batch-aware solvers get one joint call,
+		// anything else its plain Propose with a sequential top-up if it
+		// under-delivers.
+		proposals := solver.ProposeN(a.Solver, batch)
 		if len(proposals) != batch {
 			return res, fmt.Errorf("core: solver proposed %d of %d", len(proposals), batch)
 		}

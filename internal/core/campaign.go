@@ -1,0 +1,31 @@
+package core
+
+import (
+	"context"
+
+	"colormatch/internal/flow"
+	"colormatch/internal/portal"
+	"colormatch/internal/solver"
+	"colormatch/internal/wei"
+)
+
+// RunCampaign is the poolable campaign entrypoint: it wires an App for one
+// campaign onto an existing engine and runs it to termination. Workcells and
+// engines are long-lived (one per physical or simulated cell); apps are
+// cheap and per-campaign, so a fleet scheduler calls this once per campaign
+// with an engine forked via wei.Engine.WithLog for a private event log.
+//
+// pub and dest enable data publication when both are non-nil. Give each
+// campaign its own runner: Run counts every run the runner has executed, so
+// a runner shared across campaigns makes Result.Published cumulative. The
+// returned Result is valid (partial) even when an error is returned.
+func RunCampaign(ctx context.Context, cfg Config, engine *wei.Engine, sol solver.Solver, pub *flow.Runner, dest portal.Ingestor) (*Result, error) {
+	app, err := NewApp(cfg, engine, sol)
+	if err != nil {
+		return nil, err
+	}
+	if pub != nil && dest != nil {
+		app.EnablePublishing(pub, dest)
+	}
+	return app.Run(ctx)
+}

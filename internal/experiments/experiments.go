@@ -79,16 +79,13 @@ func RunOne(cfg core.Config, opts RunOptions) (*core.Result, *portal.Store, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	app, err := core.NewApp(cfg, engine, sol)
-	if err != nil {
-		return nil, nil, err
-	}
 	var store *portal.Store
+	var runner *flow.Runner
 	if opts.Publish {
 		store = portal.NewStore()
-		app.EnablePublishing(flow.NewRunner(wc.Clock), store)
+		runner = flow.NewRunner(wc.Clock)
 	}
-	res, err := app.Run(context.Background())
+	res, err := core.RunCampaign(context.Background(), cfg, engine, sol, runner, store)
 	return res, store, err
 }
 

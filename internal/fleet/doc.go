@@ -1,0 +1,44 @@
+// Package fleet schedules many independent color-matching campaigns across
+// a pool of simulated workcells — the scale/throughput layer the paper's
+// benchmark framing calls for: "stress self-driving-lab infrastructure" with
+// many campaigns, many workcells, and measured throughput.
+//
+// # Model
+//
+// A Campaign is one closed-loop color-matching experiment (a core.Config
+// plus a solver choice and seed). Run builds M workcells, each with its own
+// virtual clock, world, instrument modules and long-lived WEI engine, and
+// starts one worker per workcell. Workers pull campaigns from a shared FIFO
+// queue — work-stealing in the sense that the next free workcell takes the
+// next queued campaign, so a slow campaign on one cell never blocks the
+// rest of the fleet.
+//
+// Per campaign, the worker forks the workcell engine with a fresh event log
+// (wei.Engine.WithLog), builds a fresh solver from the campaign's seed, and
+// runs core.RunCampaign. Solver proposals route through the
+// solver.BatchProposer seam: batch-aware solvers are asked for k ratios at
+// once and the batch fans out across the plate's wells.
+//
+// # Time and metrics
+//
+// Each workcell advances its own sim.SimClock, so fleet timing is measured
+// in virtual workcell time — robot wall-clock, the quantity the paper
+// benchmarks — independent of host CPU count. The fleet makespan is the
+// busiest workcell's total virtual time; the sequential baseline is the sum
+// of every campaign's virtual duration (what one workcell would have
+// taken); Speedup is their ratio. Per-campaign Table 1 summaries aggregate
+// through metrics.Aggregate, and fault counts come from each workcell's
+// sim.Injector.
+//
+// # Failure and cancellation
+//
+// A campaign failing with wei.ErrStepFailed is treated as evidence of a sick
+// workcell: the workcell retires from the pool and the campaign is requeued
+// onto a healthy one, up to Options.MaxAttempts attempts (default 2). When
+// the budget is exhausted on a second cell the blame shifts to the campaign
+// itself — a poisoned configuration fails everywhere — so it is recorded as
+// failed without retiring that cell. When the last workcell retires, the
+// remaining queue drains as failures rather than deadlocking. Canceling the context stops new dispatch and aborts running
+// campaigns at their next workflow-step boundary; Run then returns the
+// partial Result alongside the context error.
+package fleet

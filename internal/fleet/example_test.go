@@ -1,0 +1,36 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+
+	"colormatch/internal/core"
+	"colormatch/internal/fleet"
+)
+
+// ExampleRun schedules four small campaigns across two simulated workcells.
+// Which workcell serves which campaign is scheduling-dependent, but the
+// completion counts and total sample yield are deterministic.
+func ExampleRun() {
+	campaigns := make([]fleet.Campaign, 4)
+	for i := range campaigns {
+		campaigns[i] = fleet.Campaign{
+			Solver: "random",
+			Config: core.Config{TotalSamples: 8, BatchSize: 4},
+		}
+	}
+	res, err := fleet.Run(context.Background(), campaigns, fleet.Options{
+		Workcells: 2,
+		Seed:      7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("completed %d/%d campaigns on %d workcells\n",
+		res.Completed, len(res.Campaigns), len(res.Workcells))
+	fmt.Printf("samples measured: %d\n", res.Samples)
+	// Output:
+	// completed 4/4 campaigns on 2 workcells
+	// samples measured: 32
+}

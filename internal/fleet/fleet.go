@@ -1,0 +1,517 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colormatch/internal/core"
+	"colormatch/internal/flow"
+	"colormatch/internal/labware"
+	"colormatch/internal/metrics"
+	"colormatch/internal/portal"
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+	"colormatch/internal/solver/baseline"
+	"colormatch/internal/solver/bayes"
+	"colormatch/internal/solver/ga"
+	"colormatch/internal/wei"
+)
+
+// Campaign describes one independent color-matching campaign queued on the
+// fleet. The zero value of every field has a sensible default: Run assigns
+// IDs and names positionally, derives seeds from Options.Seed, and defaults
+// the solver to the paper's genetic algorithm.
+type Campaign struct {
+	// ID is a positive campaign identifier (assigned 1..N when zero).
+	ID int
+	// Name labels the campaign in results and on the portal.
+	Name string
+	// Seed drives the campaign's solver stream (default Options.Seed + ID).
+	Seed int64
+	// Solver names the decision procedure: genetic|genetic-grid|bayesian|
+	// random|grid (default genetic). Options.NewSolver overrides the lookup.
+	Solver string
+	// Config is the experiment configuration (batch size, sample budget,
+	// target). Options.Batch overrides Config.BatchSize when set.
+	Config core.Config
+}
+
+// SolverFactory builds a fresh solver for one campaign attempt. rng is
+// derived from the campaign seed, so retried campaigns restart their solver
+// deterministically.
+type SolverFactory func(c Campaign, rng *sim.RNG) (solver.Solver, error)
+
+// Options configure a fleet run.
+type Options struct {
+	// Workcells is the pool size M (required, >= 1).
+	Workcells int
+	// Batch, when positive, overrides every campaign's BatchSize: the k
+	// ratios requested from the solver at once and fanned out across wells.
+	Batch int
+	// Seed is the base seed for workcell worlds and derived campaign seeds.
+	Seed int64
+	// PlateStock is the per-workcell plate supply (default: enough for every
+	// campaign to run on one workcell, so scheduling never starves plates).
+	PlateStock int
+	// Faults, when non-zero, attaches a fault injector with this plan to
+	// every workcell's engine.
+	Faults sim.FaultPlan
+	// Publish stores every campaign's records plus a fleet summary record in
+	// an in-memory portal store (Result.Store). Records are keyed by the
+	// campaign's experiment name with the scheduling attempt as the run
+	// number, so a campaign rescheduled off a sick workcell keeps its failed
+	// attempt's partial records separable from the final attempt's.
+	Publish bool
+	// MaxAttempts bounds scheduling attempts per campaign across workcells
+	// (default 2: one reschedule onto a different cell; 1 disables
+	// rescheduling). Each hard failure before the budget retires the cell it
+	// happened on; when the budget is exhausted on a second cell the blame
+	// shifts to the campaign itself — a poisoned configuration fails
+	// everywhere — and that cell stays in the pool.
+	MaxAttempts int
+	// NewSolver overrides the built-in solver lookup (e.g. for custom or
+	// analytic solvers).
+	NewSolver SolverFactory
+	// Tune, when set, is called once per workcell after wiring, before any
+	// campaign runs — the hook tests use to break a specific workcell or
+	// adjust retry policy.
+	Tune func(workcell int, wc *core.SimWorkcell, eng *wei.Engine)
+}
+
+// Status classifies a campaign's final outcome.
+type Status string
+
+// Campaign outcomes.
+const (
+	StatusCompleted Status = "completed"
+	StatusFailed    Status = "failed"
+	StatusCanceled  Status = "canceled"
+)
+
+// CampaignResult is one campaign's outcome.
+type CampaignResult struct {
+	Campaign Campaign
+	Status   Status
+	// Workcell is the index of the cell that produced the final attempt, or
+	// -1 when the campaign never ran (canceled before dispatch, or no
+	// healthy workcell was left).
+	Workcell int
+	// Attempts counts scheduling attempts (>1 when rescheduled off a sick
+	// workcell).
+	Attempts int
+	// Wall is the final attempt's duration in virtual workcell time.
+	Wall    time.Duration
+	Samples int
+	// Best is the best (lowest) score reached; 0 when no samples completed.
+	Best float64
+	Err  error
+	// Result is the full experiment result of the final attempt (may be a
+	// valid partial result even for failed campaigns).
+	Result *core.Result
+}
+
+// WorkcellStats describes one workcell's share of the fleet run.
+type WorkcellStats struct {
+	Index int
+	// Campaigns counts campaign attempts executed here, including failures.
+	Campaigns int
+	// Busy is total virtual time spent running campaigns.
+	Busy time.Duration
+	// Utilization is Busy relative to the fleet makespan (0..1).
+	Utilization float64
+	// Faults counts commands the cell's injector failed.
+	Faults int
+	// Retired reports the cell left the pool after a hard failure.
+	Retired bool
+}
+
+// Result is the outcome of a fleet run.
+type Result struct {
+	Campaigns []CampaignResult
+	Workcells []WorkcellStats
+	Completed int
+	Failed    int
+	Canceled  int
+	// Samples is the total number of colors mixed and measured.
+	Samples int
+	// Faults is the total number of injected command faults.
+	Faults int
+	// Makespan is the busiest workcell's virtual time — the fleet's
+	// wall-clock on the experiment clock.
+	Makespan time.Duration
+	// SequentialWall is the sum of completed campaign durations: the virtual
+	// time one workcell would have needed for the same campaigns.
+	SequentialWall time.Duration
+	// Speedup is SequentialWall / Makespan (1.0 for a single workcell).
+	Speedup float64
+	// Throughput is completed campaigns per virtual hour of makespan.
+	Throughput float64
+	// Metrics aggregates the completed campaigns' Table 1 summaries.
+	Metrics metrics.Summary
+	// Store holds published records when Options.Publish is set.
+	Store *portal.Store
+}
+
+// task is one schedulable campaign with its mutable attempt state.
+type task struct {
+	idx      int // position in the input slice / results
+	c        Campaign
+	attempts int
+}
+
+// dispatcher is the work queue: the next free workcell pulls the next
+// queued campaign. It tracks outstanding (un-finalized) tasks so idle
+// workers keep waiting while a running campaign might still be requeued,
+// and healthy workers so the queue fails fast once every workcell retired.
+type dispatcher struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []*task
+	outstanding int
+	workers     int
+}
+
+func newDispatcher(tasks []*task, workers int) *dispatcher {
+	d := &dispatcher{queue: tasks, outstanding: len(tasks), workers: workers}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// next blocks until a campaign is available and returns it, or returns nil
+// once no task can ever arrive (all finalized or every workcell retired).
+func (d *dispatcher) next() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.queue) == 0 && d.outstanding > 0 {
+		d.cond.Wait()
+	}
+	if len(d.queue) == 0 {
+		return nil
+	}
+	t := d.queue[0]
+	d.queue = d.queue[1:]
+	return t
+}
+
+// finalize marks one task as done (in any status).
+func (d *dispatcher) finalize() {
+	d.mu.Lock()
+	d.outstanding--
+	if d.outstanding <= 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// fail handles a hard failure of t on a workcell, which retires. When t has
+// attempts left and healthy workcells remain it is requeued (requeued=true);
+// otherwise the caller finalizes it as failed. If this was the last healthy
+// workcell, the still-queued tasks are returned as orphans for the caller to
+// record as failures — their outstanding count is already released.
+func (d *dispatcher) fail(t *task, retry bool) (requeued bool, orphans []*task) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.workers--
+	if retry && d.workers > 0 {
+		d.queue = append(d.queue, t)
+		d.cond.Broadcast()
+		return true, nil
+	}
+	if d.workers <= 0 {
+		orphans = d.queue
+		d.queue = nil
+		d.outstanding -= len(orphans)
+	}
+	d.cond.Broadcast()
+	return false, orphans
+}
+
+// defaultSolver is the built-in SolverFactory covering the repo's black-box
+// decision procedures. The analytic oracle needs the forward mixing model;
+// supply Options.NewSolver to use it (see experiments.NewSolver).
+func defaultSolver(c Campaign, rng *sim.RNG) (solver.Solver, error) {
+	name := c.Solver
+	if name == "" {
+		name = "genetic"
+	}
+	switch name {
+	case "genetic", "ga":
+		return ga.New(rng, ga.Options{RandomInit: true}), nil
+	case "genetic-grid":
+		return ga.New(rng, ga.Options{}), nil
+	case "bayesian", "bayes":
+		return bayes.New(rng, bayes.Options{}), nil
+	case "random":
+		return baseline.NewRandom(rng, 4), nil
+	case "grid":
+		return baseline.NewGrid(4, 6), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown solver %q (set Options.NewSolver for custom solvers)", name)
+	}
+}
+
+// plateDemand estimates how many plates the campaigns consume in total, so
+// one workcell could absorb the whole queue without starving.
+func plateDemand(campaigns []Campaign) int {
+	plates := 0
+	for _, c := range campaigns {
+		n := c.Config.TotalSamples
+		if n == 0 {
+			n = 128
+		}
+		plates += (n+labware.PlateWells-1)/labware.PlateWells + 1
+	}
+	return plates + 2
+}
+
+// Run executes the campaigns across a pool of opts.Workcells simulated
+// workcells and blocks until every campaign completed, failed, or was
+// canceled. On context cancellation it drains — running campaigns stop at
+// their next workflow-step boundary — and returns the partial Result
+// together with the context's error.
+func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Workcells < 1 {
+		return nil, fmt.Errorf("fleet: need at least one workcell, got %d", opts.Workcells)
+	}
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = 2
+	}
+	if opts.NewSolver == nil {
+		opts.NewSolver = defaultSolver
+	}
+	stock := opts.PlateStock
+	if stock == 0 {
+		stock = plateDemand(campaigns)
+	}
+
+	res := &Result{
+		Campaigns: make([]CampaignResult, len(campaigns)),
+		Workcells: make([]WorkcellStats, opts.Workcells),
+	}
+	var store *portal.Store
+	if opts.Publish {
+		store = portal.NewStore()
+	}
+
+	tasks := make([]*task, len(campaigns))
+	for i, c := range campaigns {
+		if c.ID == 0 {
+			c.ID = i + 1
+		}
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("c%02d", c.ID)
+		}
+		if c.Seed == 0 {
+			c.Seed = opts.Seed + int64(c.ID)
+		}
+		tasks[i] = &task{idx: i, c: c}
+		res.Campaigns[i] = CampaignResult{Campaign: c}
+	}
+
+	d := newDispatcher(tasks, opts.Workcells)
+	var (
+		resMu  sync.Mutex // guards res.Campaigns writes across workers
+		wg     sync.WaitGroup
+		clocks = make([]sim.Clock, opts.Workcells)
+	)
+	record := func(t *task, r CampaignResult) {
+		resMu.Lock()
+		res.Campaigns[t.idx] = r
+		resMu.Unlock()
+	}
+
+	for w := 0; w < opts.Workcells; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := core.NewSimWorkcell(core.WorkcellOptions{
+				Seed:       opts.Seed + int64(1000*(w+1)),
+				PlateStock: stock,
+			})
+			clocks[w] = wc.Clock
+			eng := wei.NewEngine(wc.Registry, wc.Clock, wei.NewEventLog(wc.Clock))
+			if opts.Faults != (sim.FaultPlan{}) {
+				frng := sim.NewRNG(opts.Seed).Derive(fmt.Sprintf("faults_wc%d", w))
+				eng.Faults = sim.NewInjector(opts.Faults, frng)
+			}
+			if opts.Tune != nil {
+				opts.Tune(w, wc, eng)
+			}
+			stats := &res.Workcells[w]
+			stats.Index = w
+
+			for {
+				t := d.next()
+				if t == nil {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
+						Workcell: -1, Attempts: t.attempts, Err: err})
+					d.finalize()
+					continue
+				}
+				t.attempts++
+				cr := runOne(ctx, t, w, wc, eng, store, opts)
+				stats.Campaigns++
+				stats.Busy += cr.Wall
+
+				hardFailure := cr.Err != nil && ctx.Err() == nil && errors.Is(cr.Err, wei.ErrStepFailed)
+				if hardFailure && t.attempts >= opts.MaxAttempts && t.attempts > 1 {
+					// Attempt budget exhausted across different workcells:
+					// blame the campaign (a poisoned config fails everywhere),
+					// not the cell — one bad campaign must not retire the pool.
+					record(t, cr)
+					d.finalize()
+					continue
+				}
+				if hardFailure {
+					stats.Retired = true
+					requeued, orphans := d.fail(t, t.attempts < opts.MaxAttempts)
+					for _, o := range orphans {
+						record(o, CampaignResult{Campaign: o.c, Status: StatusFailed, Workcell: -1,
+							Attempts: o.attempts, Err: fmt.Errorf("fleet: no healthy workcell left: %w", cr.Err)})
+					}
+					if !requeued {
+						record(t, cr)
+						d.finalize()
+					}
+					break // this workcell is retired
+				}
+				record(t, cr)
+				d.finalize()
+			}
+			stats.Faults = eng.Faults.Total()
+		}(w)
+	}
+	wg.Wait()
+
+	finish(res, campaigns, opts, clocks, store)
+	return res, ctx.Err()
+}
+
+// runOne executes a single campaign attempt on workcell w.
+func runOne(ctx context.Context, t *task, w int, wc *core.SimWorkcell, eng *wei.Engine, store *portal.Store, opts Options) CampaignResult {
+	cr := CampaignResult{Campaign: t.c, Workcell: w, Attempts: t.attempts}
+
+	cfg := t.c.Config
+	if cfg.Experiment == "" {
+		cfg.Experiment = "fleet_" + t.c.Name
+	}
+	if opts.Batch > 0 {
+		cfg.BatchSize = opts.Batch
+	}
+	// Publish under the attempt number: the Experiment name already
+	// identifies the campaign, and a rescheduled campaign may have left a
+	// failed attempt's partial records in the shared store — per-attempt run
+	// numbers keep the final attempt's records distinguishable.
+	if cfg.RunNumber == 0 {
+		cfg.RunNumber = t.attempts
+	}
+	sol, err := opts.NewSolver(t.c, sim.NewRNG(t.c.Seed).Derive("solver"))
+	if err != nil {
+		cr.Status = StatusFailed
+		cr.Err = err
+		return cr
+	}
+
+	// Fork the long-lived workcell engine with a per-campaign event log, and
+	// give the campaign its own flow runner, so each campaign's metrics and
+	// publish counts stay separable. The shared store is the only cross-
+	// campaign publication state.
+	campEng := eng.WithLog(wei.NewEventLog(wc.Clock))
+	var runner *flow.Runner
+	if store != nil {
+		runner = flow.NewRunner(wc.Clock)
+	}
+	start := wc.Clock.Now()
+	result, err := core.RunCampaign(ctx, cfg, campEng, sol, runner, store)
+	cr.Wall = wc.Clock.Now().Sub(start)
+	cr.Result = result
+	if result != nil {
+		cr.Samples = len(result.Samples)
+		cr.Best = result.Best.Score
+	}
+	switch {
+	case err == nil:
+		cr.Status = StatusCompleted
+	case ctx.Err() != nil:
+		cr.Status = StatusCanceled
+		cr.Err = err
+	default:
+		cr.Status = StatusFailed
+		cr.Err = err
+	}
+	return cr
+}
+
+// finish derives the aggregate fleet metrics and publishes the summary
+// record.
+func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock, store *portal.Store) {
+	var summaries []metrics.Summary
+	for _, cr := range res.Campaigns {
+		switch cr.Status {
+		case StatusCompleted:
+			res.Completed++
+			res.SequentialWall += cr.Wall
+			if cr.Result != nil {
+				summaries = append(summaries, cr.Result.Metrics)
+			}
+		case StatusFailed:
+			res.Failed++
+		case StatusCanceled:
+			res.Canceled++
+		}
+		res.Samples += cr.Samples
+	}
+	for i := range res.Workcells {
+		if res.Workcells[i].Busy > res.Makespan {
+			res.Makespan = res.Workcells[i].Busy
+		}
+		res.Faults += res.Workcells[i].Faults
+	}
+	for i := range res.Workcells {
+		if res.Makespan > 0 {
+			res.Workcells[i].Utilization = float64(res.Workcells[i].Busy) / float64(res.Makespan)
+		}
+	}
+	if res.Makespan > 0 {
+		res.Speedup = float64(res.SequentialWall) / float64(res.Makespan)
+		res.Throughput = float64(res.Completed) / res.Makespan.Hours()
+	}
+	res.Metrics = metrics.Aggregate(summaries)
+
+	if store != nil {
+		clk := clocks[0]
+		for _, c := range clocks[1:] {
+			if c != nil && c.Now().After(clk.Now()) {
+				clk = c
+			}
+		}
+		runner := flow.NewRunner(clk)
+		rec := portal.Record{
+			Experiment: "fleet",
+			Time:       clk.Now(),
+			Fields: map[string]any{
+				"campaigns":        len(campaigns),
+				"workcells":        opts.Workcells,
+				"completed":        res.Completed,
+				"failed":           res.Failed,
+				"canceled":         res.Canceled,
+				"samples":          res.Samples,
+				"faults":           res.Faults,
+				"makespan_seconds": res.Makespan.Seconds(),
+				"speedup":          res.Speedup,
+			},
+		}
+		runner.Submit(context.Background(), flow.PublishFleetSummary(store), flow.Input{"record": rec})
+		runner.WaitAll()
+		res.Store = store
+	}
+}

@@ -7,23 +7,22 @@ import (
 	"colormatch/internal/portal"
 )
 
-// PublishColorPicker builds the paper's "PublishColorPickerRPL" flow: gather
-// the record, validate it, and ingest it into the data portal. The ingest
-// step retries, since the portal is a remote service in the distributed
-// deployment.
-func PublishColorPicker(dest portal.Ingestor) *Flow {
+// publishFlow builds the shared validate-then-ingest publication shape:
+// a named validation step, then an ingest step that retries since the
+// portal is a remote service in the distributed deployment.
+func publishFlow(name, validateStep string, validate func(portal.Record) error, dest portal.Ingestor) *Flow {
 	return &Flow{
-		Name: "PublishColorPickerRPL",
+		Name: name,
 		Steps: []Step{
 			{
-				Name: "gather",
+				Name: validateStep,
 				Run: func(ctx context.Context, in Input) (Input, error) {
 					rec, ok := in["record"].(portal.Record)
 					if !ok {
 						return nil, fmt.Errorf("publish: input has no record")
 					}
-					if rec.Experiment == "" {
-						return nil, fmt.Errorf("publish: record missing experiment")
+					if err := validate(rec); err != nil {
+						return nil, err
 					}
 					return Input{"record": rec}, nil
 				},
@@ -42,4 +41,31 @@ func PublishColorPicker(dest portal.Ingestor) *Flow {
 			},
 		},
 	}
+}
+
+// PublishColorPicker builds the paper's "PublishColorPickerRPL" flow: gather
+// the record, validate it, and ingest it into the data portal.
+func PublishColorPicker(dest portal.Ingestor) *Flow {
+	return publishFlow("PublishColorPickerRPL", "gather", func(rec portal.Record) error {
+		if rec.Experiment == "" {
+			return fmt.Errorf("publish: record missing experiment")
+		}
+		return nil
+	}, dest)
+}
+
+// PublishFleetSummary builds the fleet-level publication flow: one record
+// per fleet run carrying the aggregate campaign outcomes (completed/failed
+// counts, makespan, speedup), validated and then ingested with retries —
+// the same shape as PublishColorPicker one level up.
+func PublishFleetSummary(dest portal.Ingestor) *Flow {
+	return publishFlow("PublishFleetSummaryRPL", "summarize", func(rec portal.Record) error {
+		if rec.Experiment == "" {
+			return fmt.Errorf("publish: fleet record missing experiment")
+		}
+		if _, ok := rec.Fields["campaigns"]; !ok {
+			return fmt.Errorf("publish: fleet record missing campaigns field")
+		}
+		return nil
+	}, dest)
 }

@@ -1,0 +1,47 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"colormatch/internal/portal"
+	"colormatch/internal/sim"
+)
+
+func TestPublishFleetSummarySucceeds(t *testing.T) {
+	store := portal.NewStore()
+	r := NewRunner(sim.NewSimClock())
+	run := r.Submit(context.Background(), PublishFleetSummary(store), Input{
+		"record": portal.Record{
+			Experiment: "fleet",
+			Fields:     map[string]any{"campaigns": 4, "completed": 4},
+		},
+	})
+	r.WaitAll()
+	if run.State() != StateSucceeded {
+		_, err := run.Wait()
+		t.Fatalf("state = %s (%v)", run.State(), err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records", store.Len())
+	}
+}
+
+func TestPublishFleetSummaryValidates(t *testing.T) {
+	store := portal.NewStore()
+	r := NewRunner(sim.NewSimClock())
+	cases := []Input{
+		{},
+		{"record": portal.Record{Fields: map[string]any{"campaigns": 1}}},
+		{"record": portal.Record{Experiment: "fleet"}},
+	}
+	for i, in := range cases {
+		run := r.Submit(context.Background(), PublishFleetSummary(store), in)
+		if _, err := run.Wait(); err == nil {
+			t.Errorf("case %d: bad input accepted", i)
+		}
+	}
+	if store.Len() != 0 {
+		t.Fatalf("bad records ingested: %d", store.Len())
+	}
+}

@@ -1,0 +1,18 @@
+// Package labware models the consumables and liquid containers that flow
+// through the workcell: 96-well microplates with standard A1..H12 addressing,
+// per-well dye contents, and the OT-2's dye reservoirs that barty refills.
+//
+// Volume bookkeeping here is what makes the replenish workflow
+// (cp_wf_replenish) and plate-exchange workflow (cp_wf_newplate) meaningful:
+// reservoirs actually run dry and plates actually fill up, at the same rates
+// as in the paper's experiments. The same bookkeeping sizes the fleet
+// scheduler's plate stock — internal/fleet provisions each simulated
+// workcell with enough plates (PlateWells wells each) for every queued
+// campaign, so scheduling decisions are never confounded by consumable
+// starvation.
+//
+// The package is pure state: it advances no clock and injects no noise.
+// Device modules (internal/device) mutate it in response to WEI commands,
+// and the vision pipeline reads the resulting well colors back off the
+// simulated camera frame.
+package labware

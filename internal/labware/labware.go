@@ -1,11 +1,3 @@
-// Package labware models the consumables and liquid containers that flow
-// through the workcell: 96-well microplates with standard A1..H12 addressing,
-// per-well dye contents, and the OT-2's dye reservoirs that barty refills.
-//
-// Volume bookkeeping here is what makes the replenish workflow
-// (cp_wf_replenish) and plate-exchange workflow (cp_wf_newplate) meaningful:
-// reservoirs actually run dry and plates actually fill up, at the same rates
-// as in the paper's experiments.
 package labware
 
 import (

@@ -1,0 +1,13 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// Gaussian-process solver (Cholesky factorization, triangular solves) and by
+// the vision pipeline's grid fitting (ordinary least squares). It is written
+// against the stdlib only; matrices are small (tens to low hundreds of
+// rows), so clarity is preferred over blocking or SIMD tricks.
+//
+// The two consumers shape the API: internal/solver/bayes factors the GP
+// kernel matrix once per iteration and back-substitutes per candidate, and
+// internal/vision solves tiny least-squares systems when fitting the plate
+// grid to detected well centers. Both paths run inside the campaign loop, so
+// the routines avoid allocation where practical, but none of them is a
+// throughput bottleneck next to the simulated instruments.
+package linalg

@@ -1,8 +1,3 @@
-// Package linalg provides the small dense linear-algebra kernel used by the
-// Gaussian-process solver (Cholesky factorization, triangular solves) and by
-// the vision pipeline's grid fitting (ordinary least squares). It is written
-// against the stdlib only; matrices are small (tens to low hundreds of rows),
-// so clarity is preferred over blocking or SIMD tricks.
 package linalg
 
 import (

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAggregateEmpty(t *testing.T) {
+	if s := Aggregate(nil); s != (Summary{}) {
+		t.Fatalf("Aggregate(nil) = %+v", s)
+	}
+}
+
+func TestAggregateSumsAndMaxes(t *testing.T) {
+	parts := []Summary{
+		{
+			TWH: 2 * time.Hour, Wall: 2 * time.Hour, CCWH: 100,
+			CompletedCommands: 120, FailedCommands: 3,
+			SynthesisTime: 30 * time.Minute, TransferTime: 40 * time.Minute,
+			TotalColors: 16, Uploads: 5, MeanUploadInterval: 10 * time.Minute,
+		},
+		{
+			TWH: 3 * time.Hour, Wall: time.Hour, CCWH: 50,
+			CompletedCommands: 60, FailedCommands: 1,
+			SynthesisTime: 15 * time.Minute, TransferTime: 20 * time.Minute,
+			TotalColors: 8, Uploads: 3, MeanUploadInterval: 20 * time.Minute,
+		},
+	}
+	s := Aggregate(parts)
+	if s.TWH != 3*time.Hour {
+		t.Errorf("TWH = %v, want max 3h", s.TWH)
+	}
+	if s.Wall != 3*time.Hour {
+		t.Errorf("Wall = %v, want sum 3h", s.Wall)
+	}
+	// CCWH stays paired with the TWH it was measured in (the 3h campaign).
+	if s.CCWH != 50 {
+		t.Errorf("CCWH = %d, want 50 (from the max-TWH campaign)", s.CCWH)
+	}
+	if s.CompletedCommands != 180 || s.FailedCommands != 4 {
+		t.Errorf("counts = %d/%d", s.CompletedCommands, s.FailedCommands)
+	}
+	if s.SynthesisTime != 45*time.Minute || s.TransferTime != time.Hour {
+		t.Errorf("times = %v/%v", s.SynthesisTime, s.TransferTime)
+	}
+	if s.TotalColors != 24 || s.Uploads != 8 {
+		t.Errorf("colors=%d uploads=%d", s.TotalColors, s.Uploads)
+	}
+	if want := 3 * time.Hour / 24; s.TimePerColor != want {
+		t.Errorf("TimePerColor = %v, want %v", s.TimePerColor, want)
+	}
+	// Weighted mean of upload intervals: (4*10m + 2*20m) / 6.
+	if want := 80 * time.Minute / 6; s.MeanUploadInterval != want {
+		t.Errorf("MeanUploadInterval = %v, want %v", s.MeanUploadInterval, want)
+	}
+}

@@ -128,6 +128,43 @@ func Compute(events []wei.Event, totalColors int) Summary {
 	return s
 }
 
+// Aggregate merges per-campaign summaries into one fleet-level summary.
+// Command counts, instrument times, colors, uploads and Wall sum — Wall
+// becomes total robot time consumed across the fleet. TWH and CCWH keep
+// their Table 1 pairing: both come from the single campaign with the
+// longest human-free stretch, since commands from parallel campaigns cannot
+// complete within one stretch. TimePerColor and MeanUploadInterval are
+// recomputed from the merged totals.
+func Aggregate(parts []Summary) Summary {
+	var s Summary
+	var intervalSpan time.Duration
+	intervalN := 0
+	for _, p := range parts {
+		if p.TWH > s.TWH {
+			s.TWH = p.TWH
+			s.CCWH = p.CCWH
+		}
+		s.Wall += p.Wall
+		s.CompletedCommands += p.CompletedCommands
+		s.FailedCommands += p.FailedCommands
+		s.SynthesisTime += p.SynthesisTime
+		s.TransferTime += p.TransferTime
+		s.TotalColors += p.TotalColors
+		s.Uploads += p.Uploads
+		if p.Uploads > 1 {
+			intervalSpan += p.MeanUploadInterval * time.Duration(p.Uploads-1)
+			intervalN += p.Uploads - 1
+		}
+	}
+	if s.TotalColors > 0 {
+		s.TimePerColor = s.Wall / time.Duration(s.TotalColors)
+	}
+	if intervalN > 0 {
+		s.MeanUploadInterval = intervalSpan / time.Duration(intervalN)
+	}
+	return s
+}
+
 // fmtDur renders a duration in the paper's "8 hours 12 mins" style.
 func fmtDur(d time.Duration) string {
 	d = d.Round(time.Minute)

@@ -174,3 +174,14 @@ func (a *Analytic) solve() []float64 {
 	}
 	return best
 }
+
+// ProposeBatch implements solver.BatchProposer.
+func (r *Random) ProposeBatch(n int) [][]float64 { return r.Propose(n) }
+
+// ProposeBatch implements solver.BatchProposer: one call walks the grid
+// enumeration n steps.
+func (g *Grid) ProposeBatch(n int) [][]float64 { return g.Propose(n) }
+
+// ProposeBatch implements solver.BatchProposer: repeats within one batch are
+// jittered so the wells are not literally identical.
+func (a *Analytic) ProposeBatch(n int) [][]float64 { return a.Propose(n) }

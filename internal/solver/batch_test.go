@@ -1,0 +1,151 @@
+package solver_test
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+	"colormatch/internal/solver/baseline"
+	"colormatch/internal/solver/bayes"
+	"colormatch/internal/solver/ga"
+)
+
+// The repo's decision procedures are all batch-aware.
+var (
+	_ solver.BatchProposer = (*ga.Solver)(nil)
+	_ solver.BatchProposer = (*bayes.Solver)(nil)
+	_ solver.BatchProposer = (*baseline.Random)(nil)
+	_ solver.BatchProposer = (*baseline.Grid)(nil)
+	_ solver.BatchProposer = (*baseline.Analytic)(nil)
+)
+
+// plainSolver implements only the base interface, honoring Propose(n), and
+// counts calls.
+type plainSolver struct {
+	calls []int
+}
+
+func (s *plainSolver) Name() string { return "plain" }
+func (s *plainSolver) Propose(n int) [][]float64 {
+	s.calls = append(s.calls, n)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{0.25, 0.25, 0.25, 0.25}
+	}
+	return out
+}
+func (s *plainSolver) Observe([]solver.Sample) {}
+
+// singleOnly returns one proposal per call no matter what n was asked.
+type singleOnly struct {
+	calls []int
+}
+
+func (s *singleOnly) Name() string { return "single" }
+func (s *singleOnly) Propose(n int) [][]float64 {
+	s.calls = append(s.calls, n)
+	return [][]float64{{0.25, 0.25, 0.25, 0.25}}
+}
+func (s *singleOnly) Observe([]solver.Sample) {}
+
+// batchAware additionally counts ProposeBatch calls.
+type batchAware struct {
+	plainSolver
+	batchCalls []int
+}
+
+func (b *batchAware) ProposeBatch(n int) [][]float64 {
+	b.batchCalls = append(b.batchCalls, n)
+	return b.Propose(n)
+}
+
+// TestProposeNHonorsProposeContract pins the no-regression path: a custom
+// solver whose Propose(n) handles the batch itself gets exactly one call.
+func TestProposeNHonorsProposeContract(t *testing.T) {
+	s := &plainSolver{}
+	out := solver.ProposeN(s, 4)
+	if len(out) != 4 {
+		t.Fatalf("got %d proposals", len(out))
+	}
+	if len(s.calls) != 1 || s.calls[0] != 4 {
+		t.Fatalf("Propose calls = %v, want one call of 4", s.calls)
+	}
+}
+
+// TestProposeNTopsUpSingleProposers covers the sequential fallback: a
+// one-at-a-time solver under-delivers on the batch ask and is topped up
+// with single-proposal calls.
+func TestProposeNTopsUpSingleProposers(t *testing.T) {
+	s := &singleOnly{}
+	out := solver.ProposeN(s, 3)
+	if len(out) != 3 {
+		t.Fatalf("got %d proposals", len(out))
+	}
+	if len(s.calls) != 3 {
+		t.Fatalf("Propose called %d times, want 3 (1 batch ask + 2 top-ups): %v", len(s.calls), s.calls)
+	}
+	for _, n := range s.calls[1:] {
+		if n != 1 {
+			t.Fatalf("top-up calls = %v, want 1s after the batch ask", s.calls)
+		}
+	}
+}
+
+func TestProposeNPrefersBatchProposer(t *testing.T) {
+	b := &batchAware{}
+	out := solver.ProposeN(b, 5)
+	if len(out) != 5 {
+		t.Fatalf("got %d proposals", len(out))
+	}
+	if len(b.batchCalls) != 1 || b.batchCalls[0] != 5 {
+		t.Fatalf("ProposeBatch calls = %v, want one call of 5", b.batchCalls)
+	}
+}
+
+// underBatcher is a batch proposer that dedups down to a single candidate.
+type underBatcher struct {
+	plainSolver
+}
+
+func (u *underBatcher) ProposeBatch(n int) [][]float64 {
+	return u.Propose(1)
+}
+
+// TestProposeNTopsUpUnderDeliveringBatcher: the top-up repairs a
+// BatchProposer that returns fewer than n, same as the plain path.
+func TestProposeNTopsUpUnderDeliveringBatcher(t *testing.T) {
+	u := &underBatcher{}
+	out := solver.ProposeN(u, 4)
+	if len(out) != 4 {
+		t.Fatalf("got %d proposals, want 4", len(out))
+	}
+}
+
+func TestProposeNNonPositive(t *testing.T) {
+	s := &singleOnly{}
+	if out := solver.ProposeN(s, 0); out != nil {
+		t.Fatalf("ProposeN(0) = %v", out)
+	}
+	if out := solver.ProposeN(s, -2); out != nil {
+		t.Fatalf("ProposeN(-2) = %v", out)
+	}
+	if len(s.calls) != 0 {
+		t.Fatal("solver consulted for non-positive batch")
+	}
+}
+
+// TestProposeBatchMatchesPropose pins the delegation: for the built-in
+// solvers a ProposeBatch call is exactly a Propose call.
+func TestProposeBatchMatchesPropose(t *testing.T) {
+	a := baseline.NewRandom(sim.NewRNG(1), 4)
+	b := baseline.NewRandom(sim.NewRNG(1), 4)
+	pa := a.Propose(4)
+	pb := b.ProposeBatch(4)
+	for i := range pa {
+		for j := range pa[i] {
+			if pa[i][j] != pb[i][j] {
+				t.Fatalf("proposal %d diverged: %v vs %v", i, pa[i], pb[i])
+			}
+		}
+	}
+}

@@ -184,3 +184,8 @@ func tooClose(x []float64, chosen [][]float64, minDist float64) bool {
 	}
 	return false
 }
+
+// ProposeBatch implements solver.BatchProposer: the acquisition pass picks
+// the n candidates jointly from one surrogate posterior, so a batch carries
+// deliberate diversity instead of n repeated argmaxes.
+func (s *Solver) ProposeBatch(n int) [][]float64 { return s.Propose(n) }

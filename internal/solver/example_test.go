@@ -1,0 +1,57 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"colormatch/internal/solver"
+)
+
+// midpoint is a minimal Solver: it always proposes the average of the best
+// observed recipe and the uniform mixture (and the uniform mixture before
+// any feedback). It implements only the base interface — no ProposeBatch —
+// so solver.ProposeN serves batches through its plain Propose(n).
+type midpoint struct {
+	best []float64
+}
+
+func (m *midpoint) Name() string { return "midpoint" }
+
+func (m *midpoint) Propose(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		p := []float64{1, 1, 1, 1}
+		for j := range p {
+			if m.best != nil {
+				p[j] += m.best[j]
+			}
+		}
+		out[i] = solver.Normalize(p)
+	}
+	return out
+}
+
+func (m *midpoint) Observe(samples []solver.Sample) {
+	for _, s := range samples {
+		if m.best == nil || s.Score < 0 {
+			m.best = s.Ratios
+		}
+	}
+}
+
+// ExampleSolver shows the decision-procedure contract: Propose ratio
+// vectors on the simplex, observe graded outcomes, adapt. ProposeN serves
+// the batch of two through midpoint's own Propose since it does not
+// implement solver.BatchProposer.
+func ExampleSolver() {
+	var s solver.Solver = &midpoint{}
+	batch := solver.ProposeN(s, 2)
+	for _, r := range batch {
+		fmt.Println(r)
+	}
+	s.Observe([]solver.Sample{{Ratios: batch[0], Score: 12.5}})
+	fmt.Println(s.Name(), "best-informed:", s.Propose(1)[0])
+	// Output:
+	// [0.25 0.25 0.25 0.25]
+	// [0.25 0.25 0.25 0.25]
+	// midpoint best-informed: [0.25 0.25 0.25 0.25]
+}

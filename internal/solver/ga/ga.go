@@ -195,3 +195,8 @@ func clone(v []float64) []float64 {
 	copy(out, v)
 	return out
 }
+
+// ProposeBatch implements solver.BatchProposer: a GA generation is
+// inherently batch-aware — crossover and mutation spread the n children
+// across the current population rather than drawing them independently.
+func (s *Solver) ProposeBatch(n int) [][]float64 { return s.Propose(n) }

@@ -36,6 +36,47 @@ type Solver interface {
 	Observe(samples []Sample)
 }
 
+// BatchProposer is an optional extension of Solver for decision procedures
+// whose proposals are batch-aware: one call for n wells yields a jointly
+// chosen, deliberately diverse set (a GA generation, a multi-point
+// acquisition) rather than n independent draws. ProposeN prefers this
+// interface when a solver implements it.
+type BatchProposer interface {
+	Solver
+	// ProposeBatch returns n ratio vectors chosen jointly.
+	ProposeBatch(n int) [][]float64
+}
+
+// ProposeN asks s for n proposals. Solvers implementing BatchProposer
+// receive a single ProposeBatch call; any other Solver gets one Propose(n)
+// call, exactly as before this seam existed. Either way an under-delivered
+// batch — a one-at-a-time decision procedure, or a batch proposer that
+// dedups candidates — is topped up with sequential single-proposal calls
+// rather than failing the campaign loop, and an over-delivered one is
+// trimmed to n.
+func ProposeN(s Solver, n int) [][]float64 {
+	if n <= 0 {
+		return nil
+	}
+	var out [][]float64
+	if bp, ok := s.(BatchProposer); ok {
+		out = bp.ProposeBatch(n)
+	} else {
+		out = s.Propose(n)
+	}
+	for len(out) > 0 && len(out) < n {
+		more := s.Propose(1)
+		if len(more) == 0 {
+			break
+		}
+		out = append(out, more...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 // Best returns the sample with the lowest score, ok=false when empty.
 func Best(samples []Sample) (Sample, bool) {
 	if len(samples) == 0 {

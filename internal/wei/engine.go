@@ -98,6 +98,16 @@ func NewEngine(client Client, clock sim.Clock, log *EventLog) *Engine {
 	}
 }
 
+// WithLog returns a copy of the engine bound to log, sharing the client,
+// clock, fault injector and retry policy. Pools keep one engine per workcell
+// and fork a fresh event log per campaign, so each run's metrics stay
+// separable while the (possibly expensive) transport is reused.
+func (e *Engine) WithLog(log *EventLog) *Engine {
+	ne := *e
+	ne.Log = log
+	return &ne
+}
+
 // ErrStepFailed reports a step that exhausted its attempts.
 var ErrStepFailed = errors.New("wei: step failed after retries")
 
@@ -133,12 +143,21 @@ func (e *Engine) Preflight(ctx context.Context, wf *WorkflowSpec) error {
 }
 
 // RunWorkflow executes every step of wf in order, substituting params into
-// step args. It stops at the first step that fails all attempts.
+// step args. It stops at the first step that fails all attempts, and checks
+// ctx between steps so a canceled campaign drains at the next step boundary
+// instead of running the workflow to completion.
 func (e *Engine) RunWorkflow(ctx context.Context, wf *WorkflowSpec, params map[string]any) (*RunRecord, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rec := &RunRecord{Workflow: wf.Name, Start: e.Clock.Now()}
 	e.Log.Append(Event{Kind: EvWorkflowStart, Workflow: wf.Name})
 	var runErr error
 	for _, step := range wf.Steps {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		sr, err := e.runStep(ctx, wf.Name, step, params)
 		rec.Steps = append(rec.Steps, sr)
 		if err != nil {

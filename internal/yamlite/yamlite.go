@@ -1,23 +1,3 @@
-// Package yamlite implements the YAML subset used by this repository's
-// declarative workcell and workflow files.
-//
-// The WEI platform the paper builds on specifies workcells and workflows in
-// YAML ("a declarative YAML notation is used to specify how a workcell is
-// configured from a set of modules"). This repository is restricted to the
-// standard library, so yamlite provides the needed subset from scratch:
-//
-//   - block mappings and sequences nested by indentation (spaces only)
-//   - plain, single-quoted and double-quoted scalars
-//   - ints, floats, booleans, null
-//   - flow sequences [a, b, c] and flow mappings {k: v} of scalars
-//   - full-line and trailing comments
-//
-// Anchors, aliases, tags, multi-document streams, and block scalars are
-// deliberately out of scope; the config files in this repository do not use
-// them.
-//
-// Values decode to map[string]any, []any, string, int64, float64, bool and
-// nil. Marshal writes mappings with sorted keys so output is deterministic.
 package yamlite
 
 import (
