@@ -6,9 +6,17 @@
 //	fleet -campaigns 8 -workcells 4
 //	fleet -campaigns 8 -workcells 4 -solver bayesian -batch 8 -samples 64
 //	fleet -campaigns 4 -workcells 2 -faults 0.05 -publish
+//	fleet -campaigns 4 -remote http://a:2000,http://b:2000
 //
-// All timing is measured on the workcells' virtual clocks (robot wall-clock,
-// the quantity the paper benchmarks), so the reported speedup reflects fleet
+// With -remote the pool is the listed cmd/workcell-style HTTP servers — one
+// workcell per URL — instead of in-process simulated cells: each campaign
+// starts with a server-side session reset (fresh plate stock), admission is
+// health-gated, and a cell that dies mid-campaign is retired with its
+// campaign rescheduled onto a healthy one.
+//
+// All timing is measured on the workcells' clocks (virtual for the local
+// pool — robot wall-clock, the quantity the paper benchmarks — and the wall
+// clock for remote cells), so the reported speedup reflects fleet
 // scheduling, not host CPU count.
 package main
 
@@ -18,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"colormatch/internal/color"
 	"colormatch/internal/core"
@@ -37,6 +46,7 @@ func main() {
 		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell")
 		publish    = flag.Bool("publish", false, "publish campaign records and a fleet summary to an in-memory portal")
 		compact    = flag.Bool("compact", false, "emit compact JSON instead of indented")
+		remote     = flag.String("remote", "", "comma-separated workcell server base URLs; one remote cell per URL (overrides -workcells; -faults is local-pool-only, -seed still seeds campaign solvers)")
 	)
 	flag.Parse()
 
@@ -44,14 +54,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	campaigns := buildCampaigns(*nCampaigns, *solverName, target, *samples)
-	res, err := fleet.Run(context.Background(), campaigns, fleet.Options{
+	opts := fleet.Options{
 		Workcells: *nWorkcells,
 		Batch:     *batch,
 		Seed:      *seed,
 		Publish:   *publish,
 		Faults:    sim.FaultPlan{PReceive: *faultRate},
-	})
+	}
+	if *remote != "" {
+		urls := splitURLs(*remote)
+		if len(urls) == 0 {
+			fatal(fmt.Errorf("-remote given but no URLs parsed from %q", *remote))
+		}
+		if *faultRate != 0 {
+			// Fault injection provisions the local pool's engines; a remote
+			// cell's faults are whatever its server experiences for real.
+			fatal(fmt.Errorf("-faults is a local-pool option and has no effect with -remote"))
+		}
+		opts.Provider = fleet.NewRemoteProvider(urls, fleet.RemoteOptions{})
+		opts.Workcells = len(urls)
+	}
+	campaigns := buildCampaigns(*nCampaigns, *solverName, target, *samples)
+	res, err := fleet.Run(context.Background(), campaigns, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,12 +84,24 @@ func main() {
 	if !*compact {
 		enc.SetIndent("", "  ")
 	}
-	if err := enc.Encode(summarize(res, *nWorkcells)); err != nil {
+	if err := enc.Encode(summarize(res, opts.Workcells)); err != nil {
 		fatal(err)
 	}
 	if res.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitURLs parses the -remote flag: comma-separated base URLs, empty
+// entries dropped.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // buildCampaigns prepares n campaigns sharing a solver, target and budget.

@@ -36,3 +36,13 @@ func TestSummarizeEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitURLs(t *testing.T) {
+	urls := splitURLs(" http://a:2000, http://b:2000 ,,")
+	if len(urls) != 2 || urls[0] != "http://a:2000" || urls[1] != "http://b:2000" {
+		t.Fatalf("urls = %#v", urls)
+	}
+	if got := splitURLs(",,"); len(got) != 0 {
+		t.Fatalf("empty parse = %#v", got)
+	}
+}

@@ -1,7 +1,8 @@
 // Command workcell serves the simulated RPL workcell's modules over HTTP,
 // playing the role of the device computers in the physical deployment. A
-// colorpicker application (or cmd/wfrun) on another process — or another
-// machine — can then drive the instruments through the same wire protocol.
+// colorpicker application (or cmd/wfrun, or a fleet scheduler via
+// cmd/fleet -remote) on another process — or another machine — can then
+// drive the instruments through the same wire protocol.
 //
 //	workcell -listen :2000 -realtime
 //
@@ -9,6 +10,14 @@
 // transfer really takes ~42s); without it the virtual clock makes actions
 // complete immediately while still reporting modeled durations, which is
 // useful for protocol-level integration testing.
+//
+// Besides the per-module endpoints the server exposes the whole-cell
+// control plane a fleet scheduler uses:
+//
+//	GET  /healthz  liveness, module set, current session
+//	POST /reset    start a new session: fresh plate stock and reservoirs,
+//	               new server-side command log ({"campaign": "c01"} labels it)
+//	GET  /session  the current session's command log
 package main
 
 import (
@@ -31,16 +40,24 @@ func main() {
 	)
 	flag.Parse()
 
-	wc := core.NewSimWorkcell(core.WorkcellOptions{
+	opts := core.WorkcellOptions{
 		Seed:       *seed,
 		RealTime:   *realtime,
 		NumOT2:     *numOT2,
 		PlateStock: *stock,
+	}
+	wc := core.NewSimWorkcell(opts)
+	// Each /reset provisions a fresh workcell — full plate towers, filled
+	// reservoirs, cleared device state — so every campaign starts from the
+	// same stock the previous one did.
+	srv := wei.NewWorkcellServer(wc.Registry, wei.ServerOptions{
+		Reset: func() (*wei.Registry, error) {
+			return core.NewSimWorkcell(opts).Registry, nil
+		},
 	})
-	handler := wei.ServeModules(wc.Registry)
 	fmt.Printf("workcell: serving modules %v on %s (realtime=%v)\n",
 		wc.Registry.Names(), *listen, *realtime)
-	if err := http.ListenAndServe(*listen, handler); err != nil {
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "workcell:", err)
 		os.Exit(1)
 	}

@@ -1,17 +1,22 @@
 // Package fleet schedules many independent color-matching campaigns across
-// a pool of simulated workcells — the scale/throughput layer the paper's
-// benchmark framing calls for: "stress self-driving-lab infrastructure" with
-// many campaigns, many workcells, and measured throughput.
+// a pool of workcells — the scale/throughput layer the paper's benchmark
+// framing calls for: "stress self-driving-lab infrastructure" with many
+// campaigns, many workcells, and measured throughput.
 //
 // # Model
 //
 // A Campaign is one closed-loop color-matching experiment (a core.Config
-// plus a solver choice and seed). Run builds M workcells, each with its own
-// virtual clock, world, instrument modules and long-lived WEI engine, and
-// starts one worker per workcell. Workers pull campaigns from a shared FIFO
-// queue — work-stealing in the sense that the next free workcell takes the
-// next queued campaign, so a slow campaign on one cell never blocks the
-// rest of the fleet.
+// plus a solver choice and seed). Run draws M pool members from a
+// WorkcellProvider and starts one worker per cell. By default the provider
+// builds M in-process simulated workcells, each with its own virtual
+// clock, world, instrument modules and long-lived WEI engine;
+// NewRemoteProvider instead opens one cell per cmd/workcell-style HTTP
+// server URL, health-gating admission on /healthz and resetting the server
+// session (fresh plate stock, new command-log boundary) before every
+// campaign. Workers pull campaigns from a shared FIFO queue —
+// work-stealing in the sense that the next free workcell takes the next
+// queued campaign, so a slow campaign on one cell never blocks the rest of
+// the fleet.
 //
 // Per campaign, the worker forks the workcell engine with a fresh event log
 // (wei.Engine.WithLog), builds a fresh solver from the campaign's seed, and
@@ -32,13 +37,19 @@
 //
 // # Failure and cancellation
 //
-// A campaign failing with wei.ErrStepFailed is treated as evidence of a sick
-// workcell: the workcell retires from the pool and the campaign is requeued
-// onto a healthy one, up to Options.MaxAttempts attempts (default 2). When
-// the budget is exhausted on a second cell the blame shifts to the campaign
-// itself — a poisoned configuration fails everywhere — so it is recorded as
-// failed without retiring that cell. When the last workcell retires, the
-// remaining queue drains as failures rather than deadlocking. Canceling the context stops new dispatch and aborts running
+// A campaign's final step error is classified with wei.Classify. A
+// workcell-down error (unreachable or hung module server) retires the cell
+// and requeues the campaign without spending one of its MaxAttempts — the
+// dead cell says nothing about the campaign. A permanent error (unknown
+// module or action: a poisoned configuration that would fail anywhere)
+// fails the campaign in a single scheduling attempt and the cell stays in
+// the pool. Exhausted retries on transient faults are evidence of a sick
+// workcell: the cell retires and the campaign requeues onto a healthy one,
+// up to Options.MaxAttempts attempts (default 2); when the budget is
+// exhausted on a second cell the blame shifts to the campaign itself, so
+// it is recorded as failed without retiring that cell. When the last
+// workcell retires, the remaining queue drains as failures rather than
+// deadlocking. Canceling the context stops new dispatch and aborts running
 // campaigns at their next workflow-step boundary; Run then returns the
 // partial Result alongside the context error.
 package fleet

@@ -65,20 +65,29 @@ type Options struct {
 	// number, so a campaign rescheduled off a sick workcell keeps its failed
 	// attempt's partial records separable from the final attempt's.
 	Publish bool
-	// MaxAttempts bounds scheduling attempts per campaign across workcells
-	// (default 2: one reschedule onto a different cell; 1 disables
-	// rescheduling). Each hard failure before the budget retires the cell it
-	// happened on; when the budget is exhausted on a second cell the blame
-	// shifts to the campaign itself — a poisoned configuration fails
-	// everywhere — and that cell stays in the pool.
+	// MaxAttempts bounds the scheduling attempts a campaign is charged for
+	// across workcells (default 2: one reschedule onto a different cell; 1
+	// disables rescheduling). Each charged hard failure before the budget
+	// retires the cell it happened on; when the budget is exhausted on a
+	// second cell the blame shifts to the campaign itself — a poisoned
+	// configuration fails everywhere — and that cell stays in the pool.
+	// Attempts cut short by a dying workcell (wei.ClassWorkcellDown) are
+	// rescheduled without being charged.
 	MaxAttempts int
 	// NewSolver overrides the built-in solver lookup (e.g. for custom or
 	// analytic solvers).
 	NewSolver SolverFactory
 	// Tune, when set, is called once per workcell after wiring, before any
 	// campaign runs — the hook tests use to break a specific workcell or
-	// adjust retry policy.
+	// adjust retry policy. It only applies to the default local pool.
 	Tune func(workcell int, wc *core.SimWorkcell, eng *wei.Engine)
+	// Provider overrides the pool itself: where the default provider builds
+	// Workcells in-process simulated cells, NewRemoteProvider dispatches
+	// onto cmd/workcell-style HTTP servers. When set, Workcells, PlateStock,
+	// Faults and Tune (the local-pool provisioning knobs) are ignored in
+	// favor of the provider's own configuration; Seed still derives the
+	// campaigns' solver seeds.
+	Provider WorkcellProvider
 }
 
 // Status classifies a campaign's final outcome.
@@ -160,6 +169,11 @@ type task struct {
 	idx      int // position in the input slice / results
 	c        Campaign
 	attempts int
+	// charged counts the attempts that ended in a failure attributable to
+	// the campaign-or-cell pair (retryable faults exhausted). Attempts cut
+	// short by a dying workcell are not charged, so a campaign keeps its
+	// full MaxAttempts budget of genuine tries.
+	charged int
 }
 
 // dispatcher is the work queue: the next free workcell pulls the next
@@ -267,17 +281,24 @@ func plateDemand(campaigns []Campaign) int {
 	return plates + 2
 }
 
-// Run executes the campaigns across a pool of opts.Workcells simulated
-// workcells and blocks until every campaign completed, failed, or was
-// canceled. On context cancellation it drains — running campaigns stop at
-// their next workflow-step boundary — and returns the partial Result
-// together with the context's error.
+// Run executes the campaigns across a pool of workcells — opts.Workcells
+// in-process simulated cells by default, or whatever opts.Provider supplies
+// (e.g. remote cells over HTTP) — and blocks until every campaign completed,
+// failed, or was canceled. On context cancellation it drains — running
+// campaigns stop at their next workflow-step boundary — and returns the
+// partial Result together with the context's error.
+//
+// Failure policy, driven by wei.Classify on a campaign's step error:
+// permanent errors (unknown module/action — a poisoned campaign config that
+// would fail anywhere) fail the campaign in one scheduling attempt and the
+// cell stays in the pool; workcell-down errors (unreachable or hung module
+// server) retire the cell and requeue the campaign without burning one of
+// its MaxAttempts; exhausted retries on transient faults retire the cell
+// under the sick-cell heuristic, shifting blame to the campaign once its
+// attempt budget is spent across different cells.
 func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	if opts.Workcells < 1 {
-		return nil, fmt.Errorf("fleet: need at least one workcell, got %d", opts.Workcells)
 	}
 	if opts.MaxAttempts < 1 {
 		opts.MaxAttempts = 2
@@ -285,14 +306,26 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	if opts.NewSolver == nil {
 		opts.NewSolver = defaultSolver
 	}
-	stock := opts.PlateStock
-	if stock == 0 {
-		stock = plateDemand(campaigns)
+	prov := opts.Provider
+	if prov == nil {
+		if opts.Workcells < 1 {
+			return nil, fmt.Errorf("fleet: need at least one workcell, got %d", opts.Workcells)
+		}
+		stock := opts.PlateStock
+		if stock == 0 {
+			stock = plateDemand(campaigns)
+		}
+		prov = &localProvider{opts: opts, stock: stock}
 	}
+	pool := prov.Count()
+	if pool < 1 {
+		return nil, fmt.Errorf("fleet: provider supplies no workcells")
+	}
+	opts.Workcells = pool
 
 	res := &Result{
 		Campaigns: make([]CampaignResult, len(campaigns)),
-		Workcells: make([]WorkcellStats, opts.Workcells),
+		Workcells: make([]WorkcellStats, pool),
 	}
 	var store *portal.Store
 	if opts.Publish {
@@ -314,37 +347,51 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 		res.Campaigns[i] = CampaignResult{Campaign: c}
 	}
 
-	d := newDispatcher(tasks, opts.Workcells)
+	d := newDispatcher(tasks, pool)
 	var (
 		resMu  sync.Mutex // guards res.Campaigns writes across workers
 		wg     sync.WaitGroup
-		clocks = make([]sim.Clock, opts.Workcells)
+		clocks = make([]sim.Clock, pool)
 	)
 	record := func(t *task, r CampaignResult) {
 		resMu.Lock()
 		res.Campaigns[t.idx] = r
 		resMu.Unlock()
 	}
+	// recordOrphans marks the still-queued tasks stranded by the last
+	// healthy workcell's retirement — as canceled when the fleet context is
+	// what actually stopped them, as failures otherwise.
+	recordOrphans := func(orphans []*task, cause error) {
+		status, err := StatusFailed, fmt.Errorf("fleet: no healthy workcell left: %w", cause)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			status, err = StatusCanceled, ctxErr
+		}
+		for _, o := range orphans {
+			record(o, CampaignResult{Campaign: o.c, Status: status, Workcell: -1,
+				Attempts: o.attempts, Err: err})
+		}
+	}
 
-	for w := 0; w < opts.Workcells; w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wc := core.NewSimWorkcell(core.WorkcellOptions{
-				Seed:       opts.Seed + int64(1000*(w+1)),
-				PlateStock: stock,
-			})
-			clocks[w] = wc.Clock
-			eng := wei.NewEngine(wc.Registry, wc.Clock, wei.NewEventLog(wc.Clock))
-			if opts.Faults != (sim.FaultPlan{}) {
-				frng := sim.NewRNG(opts.Seed).Derive(fmt.Sprintf("faults_wc%d", w))
-				eng.Faults = sim.NewInjector(opts.Faults, frng)
-			}
-			if opts.Tune != nil {
-				opts.Tune(w, wc, eng)
-			}
 			stats := &res.Workcells[w]
 			stats.Index = w
+
+			cell, err := prov.Open(ctx, w)
+			if err != nil {
+				// The cell never joined the pool (unreachable remote,
+				// failed admission health check): retire it before it ran
+				// anything; the remaining cells absorb the queue.
+				stats.Retired = true
+				_, orphans := d.fail(nil, false)
+				recordOrphans(orphans, err)
+				return
+			}
+			defer cell.Close()
+			clocks[w] = cell.Clock()
+			eng := cell.Engine()
 
 			for {
 				t := d.next()
@@ -357,35 +404,91 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 					d.finalize()
 					continue
 				}
+				if err := cell.Prepare(ctx, t.c); err != nil {
+					if ctxErr := ctx.Err(); ctxErr != nil {
+						// The fleet was canceled mid-Prepare: that is not a
+						// cell failure, so the cell stays and the campaign
+						// drains as canceled like the rest of the queue.
+						record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
+							Workcell: -1, Attempts: t.attempts, Err: ctxErr})
+						d.finalize()
+						continue
+					}
+					// The cell cannot take the campaign (failed health gate
+					// or session reset): retire it and requeue the campaign
+					// without burning a scheduling attempt — the campaign
+					// never ran here, so this failure says nothing about it.
+					stats.Retired = true
+					requeued, orphans := d.fail(t, true)
+					recordOrphans(orphans, err)
+					if !requeued {
+						record(t, CampaignResult{Campaign: t.c, Status: StatusFailed,
+							Workcell: -1, Attempts: t.attempts, Err: err})
+						d.finalize()
+					}
+					break
+				}
 				t.attempts++
-				cr := runOne(ctx, t, w, wc, eng, store, opts)
+				cr := runOne(ctx, t, w, cell, store, opts)
 				stats.Campaigns++
 				stats.Busy += cr.Wall
 
-				hardFailure := cr.Err != nil && ctx.Err() == nil && errors.Is(cr.Err, wei.ErrStepFailed)
-				if hardFailure && t.attempts >= opts.MaxAttempts && t.attempts > 1 {
-					// Attempt budget exhausted across different workcells:
-					// blame the campaign (a poisoned config fails everywhere),
-					// not the cell — one bad campaign must not retire the pool.
+				if cr.Err == nil || ctx.Err() != nil {
 					record(t, cr)
 					d.finalize()
 					continue
 				}
-				if hardFailure {
+				class := wei.Classify(cr.Err)
+				stepFailure := errors.Is(cr.Err, wei.ErrStepFailed)
+				switch {
+				case class == wei.ClassWorkcellDown:
+					// The cell died under the campaign: retire it and
+					// reschedule unconditionally — the failure is no
+					// evidence against the campaign, so it is not charged
+					// against the MaxAttempts budget (t.charged), and
+					// requeues are bounded by the pool size since every one
+					// retires the cell that produced it.
 					stats.Retired = true
-					requeued, orphans := d.fail(t, t.attempts < opts.MaxAttempts)
-					for _, o := range orphans {
-						record(o, CampaignResult{Campaign: o.c, Status: StatusFailed, Workcell: -1,
-							Attempts: o.attempts, Err: fmt.Errorf("fleet: no healthy workcell left: %w", cr.Err)})
-					}
+					requeued, orphans := d.fail(t, true)
+					recordOrphans(orphans, cr.Err)
 					if !requeued {
 						record(t, cr)
 						d.finalize()
 					}
-					break // this workcell is retired
+				case stepFailure && class == wei.ClassPermanent:
+					// Poisoned campaign (unknown module or action): it would
+					// fail on every cell, so fail it here in one scheduling
+					// attempt and keep the healthy cell in the pool.
+					record(t, cr)
+					d.finalize()
+					continue
+				case stepFailure:
+					// Transient faults exhausted the step's retries: the
+					// sick-cell heuristic. Until the campaign's attempt
+					// budget is spent the cell takes the blame and retires;
+					// once the budget is exhausted across different cells the
+					// blame shifts to the campaign and the cell stays.
+					t.charged++
+					if t.charged >= opts.MaxAttempts && t.charged > 1 {
+						record(t, cr)
+						d.finalize()
+						continue
+					}
+					stats.Retired = true
+					requeued, orphans := d.fail(t, t.charged < opts.MaxAttempts)
+					recordOrphans(orphans, cr.Err)
+					if !requeued {
+						record(t, cr)
+						d.finalize()
+					}
+				default:
+					// Application-level failure (solver error, vision
+					// pipeline): the campaign failed on its own terms.
+					record(t, cr)
+					d.finalize()
+					continue
 				}
-				record(t, cr)
-				d.finalize()
+				break // this workcell is retired
 			}
 			stats.Faults = eng.Faults.Total()
 		}(w)
@@ -397,8 +500,10 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 }
 
 // runOne executes a single campaign attempt on workcell w.
-func runOne(ctx context.Context, t *task, w int, wc *core.SimWorkcell, eng *wei.Engine, store *portal.Store, opts Options) CampaignResult {
+func runOne(ctx context.Context, t *task, w int, cell Cell, store *portal.Store, opts Options) CampaignResult {
 	cr := CampaignResult{Campaign: t.c, Workcell: w, Attempts: t.attempts}
+	eng := cell.Engine()
+	clock := cell.Clock()
 
 	cfg := t.c.Config
 	if cfg.Experiment == "" {
@@ -425,14 +530,14 @@ func runOne(ctx context.Context, t *task, w int, wc *core.SimWorkcell, eng *wei.
 	// give the campaign its own flow runner, so each campaign's metrics and
 	// publish counts stay separable. The shared store is the only cross-
 	// campaign publication state.
-	campEng := eng.WithLog(wei.NewEventLog(wc.Clock))
+	campEng := eng.WithLog(wei.NewEventLog(clock))
 	var runner *flow.Runner
 	if store != nil {
-		runner = flow.NewRunner(wc.Clock)
+		runner = flow.NewRunner(clock)
 	}
-	start := wc.Clock.Now()
+	start := clock.Now()
 	result, err := core.RunCampaign(ctx, cfg, campEng, sol, runner, store)
-	cr.Wall = wc.Clock.Now().Sub(start)
+	cr.Wall = clock.Now().Sub(start)
 	cr.Result = result
 	if result != nil {
 		cr.Samples = len(result.Samples)
@@ -488,11 +593,16 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 	res.Metrics = metrics.Aggregate(summaries)
 
 	if store != nil {
-		clk := clocks[0]
-		for _, c := range clocks[1:] {
-			if c != nil && c.Now().After(clk.Now()) {
+		// Stamp the summary from the farthest-ahead cell clock. A worker
+		// whose cell never opened leaves a nil clock behind.
+		var clk sim.Clock
+		for _, c := range clocks {
+			if c != nil && (clk == nil || c.Now().After(clk.Now())) {
 				clk = c
 			}
+		}
+		if clk == nil {
+			clk = sim.RealClock{}
 		}
 		runner := flow.NewRunner(clk)
 		rec := portal.Record{

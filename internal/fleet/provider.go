@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"colormatch/internal/core"
+	"colormatch/internal/sim"
+	"colormatch/internal/wei"
+)
+
+// Cell is one pool member as the scheduler sees it: an engine to fork per
+// campaign, the cell's experiment clock, and campaign boundaries. The seam
+// lets the same scheduler drive in-process simulated workcells and remote
+// workcells behind cmd/workcell-style HTTP servers.
+type Cell interface {
+	// Engine returns the cell's long-lived engine; the scheduler forks it
+	// per campaign via wei.Engine.WithLog so event logs stay separable.
+	Engine() *wei.Engine
+	// Clock is the cell's experiment clock: virtual for simulated cells,
+	// the wall clock for remote ones (their virtual time lives server-side).
+	Clock() sim.Clock
+	// Prepare readies the cell for one campaign attempt. Remote cells
+	// health-gate admission and reset the server session (fresh plate
+	// stock, new command-log boundary); local cells are provisioned once at
+	// Open and need nothing per campaign. An error retires the cell and the
+	// campaign is requeued without burning a scheduling attempt.
+	Prepare(ctx context.Context, c Campaign) error
+	// Close releases the cell when its worker exits.
+	Close() error
+}
+
+// WorkcellProvider supplies the scheduler's pool. Implementations decide
+// what a "workcell" is; the scheduler only sees Cells.
+type WorkcellProvider interface {
+	// Count is the pool size M.
+	Count() int
+	// Open provisions pool member w (0-based). An error marks the cell
+	// retired before it ran anything; remaining cells absorb the queue.
+	Open(ctx context.Context, w int) (Cell, error)
+}
+
+// localProvider is the default provider: per-worker in-process simulated
+// workcells, exactly the pool fleet.Run has always built.
+type localProvider struct {
+	opts  Options
+	stock int
+}
+
+func (p *localProvider) Count() int { return p.opts.Workcells }
+
+func (p *localProvider) Open(_ context.Context, w int) (Cell, error) {
+	wc := core.NewSimWorkcell(core.WorkcellOptions{
+		Seed:       p.opts.Seed + int64(1000*(w+1)),
+		PlateStock: p.stock,
+	})
+	eng := wei.NewEngine(wc.Registry, wc.Clock, wei.NewEventLog(wc.Clock))
+	if p.opts.Faults != (sim.FaultPlan{}) {
+		frng := sim.NewRNG(p.opts.Seed).Derive(fmt.Sprintf("faults_wc%d", w))
+		eng.Faults = sim.NewInjector(p.opts.Faults, frng)
+	}
+	if p.opts.Tune != nil {
+		p.opts.Tune(w, wc, eng)
+	}
+	return &localCell{wc: wc, eng: eng}, nil
+}
+
+type localCell struct {
+	wc  *core.SimWorkcell
+	eng *wei.Engine
+}
+
+func (c *localCell) Engine() *wei.Engine { return c.eng }
+func (c *localCell) Clock() sim.Clock    { return c.wc.Clock }
+
+// Prepare is a no-op: the local pool provisions plate stock for the whole
+// queue at Open, so campaigns share the cell's world as they always have.
+func (c *localCell) Prepare(context.Context, Campaign) error { return nil }
+func (c *localCell) Close() error                            { return nil }
+
+// RemoteOptions configure a remote workcell pool.
+type RemoteOptions struct {
+	// ActTimeout bounds one module command round-trip (default
+	// wei.DefaultActTimeout — above the longest modeled realtime action).
+	ActTimeout time.Duration
+	// MaxAttempts overrides the engines' per-step command attempts
+	// (default: engine default).
+	MaxAttempts int
+	// RetryDelay overrides the engines' pause between command attempts
+	// (default: engine default; remote cells sleep on the wall clock).
+	RetryDelay time.Duration
+}
+
+// NewRemoteProvider returns a provider dispatching campaigns onto the
+// workcell servers at the given base URLs, one cell per URL, over the
+// wei.HTTPClient wire protocol. Each cell is health-gated at Open and before
+// every campaign, and each campaign starts with a server-side session reset.
+func NewRemoteProvider(urls []string, opts RemoteOptions) WorkcellProvider {
+	return &remoteProvider{urls: urls, opts: opts}
+}
+
+type remoteProvider struct {
+	urls []string
+	opts RemoteOptions
+}
+
+func (p *remoteProvider) Count() int { return len(p.urls) }
+
+func (p *remoteProvider) Open(ctx context.Context, w int) (Cell, error) {
+	wcc := wei.NewWorkcellClient(p.urls[w])
+	// Health-gated admission: a cell that cannot answer /healthz (or serves
+	// no modules) never joins the pool.
+	health, err := wcc.Health(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: workcell %s: %w", p.urls[w], err)
+	}
+	if len(health.Modules) == 0 {
+		return nil, fmt.Errorf("fleet: workcell %s serves no modules", p.urls[w])
+	}
+	client := wcc.ModuleClient(p.opts.ActTimeout, health.Modules...)
+	clock := sim.RealClock{}
+	eng := wei.NewEngine(client, clock, wei.NewEventLog(clock))
+	if p.opts.MaxAttempts > 0 {
+		eng.MaxAttempts = p.opts.MaxAttempts
+	}
+	if p.opts.RetryDelay > 0 {
+		eng.RetryDelay = p.opts.RetryDelay
+	}
+	return &remoteCell{wcc: wcc, client: client, eng: eng, clock: clock}, nil
+}
+
+type remoteCell struct {
+	wcc    *wei.WorkcellClient
+	client *wei.HTTPClient
+	eng    *wei.Engine
+	clock  sim.Clock
+}
+
+func (c *remoteCell) Engine() *wei.Engine { return c.eng }
+func (c *remoteCell) Clock() sim.Clock    { return c.clock }
+
+// Prepare health-gates the cell and resets the server session, restoring
+// fresh plate stock and starting a per-campaign command-log boundary.
+func (c *remoteCell) Prepare(ctx context.Context, camp Campaign) error {
+	if _, err := c.wcc.Health(ctx); err != nil {
+		return err
+	}
+	info, err := c.wcc.Reset(ctx, camp.Name)
+	if err != nil {
+		return err
+	}
+	// A reset with a provisioning hook swaps in fresh module instances; the
+	// set can grow or shrink, so re-point the command client at it. Only
+	// this cell's worker touches the map, and never mid-campaign.
+	for _, m := range info.Modules {
+		c.client.BaseURL[m] = c.wcc.Base
+	}
+	return nil
+}
+
+func (c *remoteCell) Close() error { return nil }

@@ -174,6 +174,12 @@ func (r *Runner) execute(ctx context.Context, f *Flow, run *Run, in Input) {
 	payload := in
 	var failure error
 	for _, step := range f.Steps {
+		// A canceled submission must not keep executing steps: stop at the
+		// boundary and record the run as failed with the context's error.
+		if err := ctx.Err(); err != nil {
+			failure = fmt.Errorf("flow: %s canceled: %w", f.Name, err)
+			break
+		}
 		attempts := 0
 		var stepErr error
 		for attempts <= step.Retries {
@@ -185,6 +191,10 @@ func (r *Runner) execute(ctx context.Context, f *Flow, run *Run, in Input) {
 				break
 			}
 			stepErr = err
+			// Retrying after cancellation only delays the inevitable.
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		run.mu.Lock()
 		sr := StepResult{Name: step.Name, Attempts: attempts}

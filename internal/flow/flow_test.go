@@ -179,3 +179,81 @@ func (f *flakyIngestor) Ingest(rec portal.Record) (string, error) {
 	}
 	return f.store.Ingest(rec)
 }
+
+// TestFlowCanceledBetweenSteps: a canceled submission stops at the next step
+// boundary and records the run as failed with the context's error, instead
+// of executing the remaining steps to completion.
+func TestFlowCanceledBetweenSteps(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	f := &Flow{Name: "canceled", Steps: []Step{
+		{Name: "first", Run: func(ctx context.Context, in Input) (Input, error) {
+			ran.Add(1)
+			cancel()
+			return in, nil
+		}},
+		{Name: "second", Run: func(ctx context.Context, in Input) (Input, error) {
+			ran.Add(1)
+			return in, nil
+		}},
+	}}
+	_, err := r.Submit(ctx, f, Input{}).Wait()
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran %d steps after cancellation, want 1", ran.Load())
+	}
+}
+
+// TestFlowCanceledStopsRetries: cancellation mid-step stops the retry loop
+// instead of burning the remaining attempts.
+func TestFlowCanceledStopsRetries(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	f := &Flow{Name: "retry_cancel", Steps: []Step{
+		{Name: "doomed", Retries: 5, Run: func(ctx context.Context, in Input) (Input, error) {
+			calls.Add(1)
+			cancel()
+			return nil, fmt.Errorf("portal down")
+		}},
+	}}
+	run := r.Submit(ctx, f, Input{})
+	if _, err := run.Wait(); err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("step attempted %d times after cancellation, want 1", calls.Load())
+	}
+	if run.State() != StateFailed {
+		t.Fatalf("state = %v", run.State())
+	}
+	steps := run.Steps()
+	if len(steps) != 1 || steps[0].Attempts != 1 {
+		t.Fatalf("step log = %+v", steps)
+	}
+}
+
+// TestFlowCanceledBeforeStart: a run submitted with an already-canceled
+// context fails without executing anything.
+func TestFlowCanceledBeforeStart(t *testing.T) {
+	r := NewRunner(sim.NewSimClock())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	f := &Flow{Name: "dead_on_arrival", Steps: []Step{
+		{Name: "only", Run: func(ctx context.Context, in Input) (Input, error) {
+			ran.Add(1)
+			return in, nil
+		}},
+	}}
+	_, err := r.Submit(ctx, f, Input{}).Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("step ran under canceled context")
+	}
+}

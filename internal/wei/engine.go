@@ -49,13 +49,33 @@ type RunRecord struct {
 	Steps    []StepRecord  `json:"steps"`
 }
 
-// WriteFile saves the run record as JSON in dir, named after the workflow
-// and its start time. It returns the file path.
+// sanitizeFilename maps a workflow name onto a safe filename fragment:
+// every byte outside [A-Za-z0-9._-] becomes '_', so a name containing a path
+// separator (or anything else the filesystem dislikes) cannot escape the
+// record directory. An empty name becomes "workflow".
+func sanitizeFilename(name string) string {
+	if name == "" {
+		return "workflow"
+	}
+	out := []byte(name)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '_', b == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// WriteFile saves the run record as JSON in dir, named after the (sanitized)
+// workflow name and its start time. It returns the file path.
 func (r *RunRecord) WriteFile(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("wei: run record: %w", err)
 	}
-	name := fmt.Sprintf("%s_%s.json", r.Workflow, r.Start.UTC().Format("20060102T150405.000000000"))
+	name := fmt.Sprintf("%s_%s.json", sanitizeFilename(r.Workflow), r.Start.UTC().Format("20060102T150405.000000000"))
 	path := filepath.Join(dir, name)
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -200,6 +220,14 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 	}
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		// A canceled campaign must not burn further attempts (or their retry
+		// sleeps, which inflate virtual-time metrics): stop before sending.
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
 		sr.Attempts = attempt
 		e.Log.Append(Event{Kind: EvCommandSent, Workflow: wfName, Step: step.Name,
 			Module: step.Module, Action: step.Action, Attempt: attempt})
@@ -221,6 +249,13 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 		lastErr = cmdErr
 		e.Log.Append(Event{Kind: EvCommandFailed, Workflow: wfName, Step: step.Name,
 			Module: step.Module, Action: step.Action, Attempt: attempt, Duration: dur, Err: cmdErr.Error()})
+		// Only transient failures are worth another attempt. A permanent
+		// error (canceled context, unknown module or action) or a dead
+		// workcell fails the step immediately — retrying would only delay
+		// cancellation and pad the event log with doomed attempts.
+		if Classify(cmdErr) != ClassRetryable {
+			break
+		}
 		if attempt < maxAttempts && e.RetryDelay > 0 {
 			e.Clock.Sleep(e.RetryDelay)
 		}

@@ -88,9 +88,13 @@ func (r *Registry) About(ctx context.Context, module string) (ModuleInfo, error)
 }
 
 // The HTTP wire protocol: each module is exposed under /modules/<name>/ with
-//   POST action  {"action": ..., "args": {...}} -> {"result": {...}} | {"error": ...}
+//   POST action  {"action": ..., "args": {...}} -> {"result": {...}} | {"error": ..., "err_class": ...}
 //   GET  state   -> {"state": "ready"}
 //   GET  about   -> ModuleInfo
+// plus the whole-workcell endpoints served by WorkcellServer:
+//   GET  /healthz -> HealthInfo
+//   POST /reset   {"campaign": ...} -> ResetInfo
+//   GET  /session -> SessionInfo
 // mirroring how WEI module servers expose device drivers on attached
 // computers.
 
@@ -102,60 +106,26 @@ type actRequest struct {
 type actResponse struct {
 	Result Result `json:"result,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// ErrClass is the server-side Classify result for Error ("retryable",
+	// "permanent"). Absent in responses from older servers, which the client
+	// reads as retryable — today's behavior.
+	ErrClass string `json:"err_class,omitempty"`
 }
 
-// ServeModules returns an http.Handler exposing every module in the
-// registry under /modules/<name>/{action,state,about}.
-func ServeModules(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/modules/", func(w http.ResponseWriter, req *http.Request) {
-		rest := strings.TrimPrefix(req.URL.Path, "/modules/")
-		parts := strings.SplitN(rest, "/", 2)
-		if len(parts) != 2 {
-			http.Error(w, "bad module path", http.StatusNotFound)
-			return
-		}
-		name, endpoint := parts[0], parts[1]
-		m, ok := reg.Get(name)
-		if !ok {
-			http.Error(w, fmt.Sprintf("unknown module %q", name), http.StatusNotFound)
-			return
-		}
-		switch endpoint {
-		case "action":
-			if req.Method != http.MethodPost {
-				http.Error(w, "POST required", http.StatusMethodNotAllowed)
-				return
-			}
-			var ar actRequest
-			if err := json.NewDecoder(req.Body).Decode(&ar); err != nil {
-				http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			res, err := m.Act(req.Context(), ar.Action, ar.Args)
-			resp := actResponse{Result: res}
-			if err != nil {
-				resp.Error = err.Error()
-			}
-			writeJSON(w, resp)
-		case "state":
-			writeJSON(w, map[string]any{"state": string(m.State())})
-		case "about":
-			writeJSON(w, m.About())
-		default:
-			http.Error(w, "unknown endpoint", http.StatusNotFound)
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, map[string]any{"ok": true, "modules": reg.Names()})
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
-}
+// Timeouts for the HTTP client. The command timeout must exceed the longest
+// modeled instrument action run with -realtime: a plate transfer is ~42s of
+// arm time, and a batch mix is SetupDuration + batch×WellDuration ≈ 8.5min
+// at the default batch of four wells. Control-plane calls (health, reset,
+// state) answer immediately and get a tight bound so a dead cell is detected
+// quickly.
+const (
+	// DefaultActTimeout bounds one module command round-trip (default for
+	// NewHTTPClient). Raise it via HTTPClient.HTTP for realtime runs with
+	// large batches.
+	DefaultActTimeout = 15 * time.Minute
+	// DefaultControlTimeout bounds health, reset and state calls.
+	DefaultControlTimeout = 10 * time.Second
+)
 
 // HTTPClient is a Client that reaches modules over HTTP. Each module maps to
 // a base URL (scheme://host:port), so modules can be spread across machines
@@ -163,24 +133,32 @@ func writeJSON(w http.ResponseWriter, v any) {
 type HTTPClient struct {
 	// BaseURL maps module name to server base URL.
 	BaseURL map[string]string
-	// HTTP is the underlying http client (default: 30s timeout).
+	// HTTP is the underlying http client (default: DefaultActTimeout).
 	HTTP *http.Client
 }
 
-// NewHTTPClient returns a client for modules all served by one base URL.
+// NewHTTPClient returns a client for modules all served by one base URL,
+// with the command timeout DefaultActTimeout. Use WithTimeout (or set HTTP
+// directly) to change it.
 func NewHTTPClient(baseURL string, modules ...string) *HTTPClient {
 	m := make(map[string]string, len(modules))
 	for _, name := range modules {
 		m[name] = baseURL
 	}
-	return &HTTPClient{BaseURL: m, HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &HTTPClient{BaseURL: m, HTTP: &http.Client{Timeout: DefaultActTimeout}}
+}
+
+// WithTimeout sets the per-command wall-clock timeout and returns c.
+func (c *HTTPClient) WithTimeout(d time.Duration) *HTTPClient {
+	c.HTTP = &http.Client{Timeout: d}
+	return c
 }
 
 func (c *HTTPClient) httpc() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return &http.Client{Timeout: DefaultActTimeout}
 }
 
 func (c *HTTPClient) moduleURL(module, endpoint string) (string, error) {
@@ -189,6 +167,16 @@ func (c *HTTPClient) moduleURL(module, endpoint string) (string, error) {
 		return "", &ErrNoModule{Module: module}
 	}
 	return fmt.Sprintf("%s/modules/%s/%s", strings.TrimSuffix(base, "/"), module, endpoint), nil
+}
+
+// transportErr wraps a failed HTTP exchange. A live caller context means the
+// server itself is unreachable or hung (ClassWorkcellDown); a dead caller
+// context means the work was canceled, which must classify as permanent.
+func transportErr(ctx context.Context, module, op string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("wei: %s %s: %w", op, module, ctxErr)
+	}
+	return &TransportError{Module: module, Op: op, Err: err}
 }
 
 // Act implements Client over HTTP.
@@ -208,19 +196,23 @@ func (c *HTTPClient) Act(ctx context.Context, module, action string, args Args) 
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("wei: %s.%s: %w", module, action, err)
+		return nil, transportErr(ctx, module, "act", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("wei: %s.%s: HTTP %d: %s", module, action, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return nil, &StatusError{Module: module, Op: "act", Code: resp.StatusCode,
+			Body: strings.TrimSpace(string(msg))}
 	}
 	var ar actResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-		return nil, fmt.Errorf("wei: decode action response: %w", err)
+		// A non-JSON or truncated body from a supposedly healthy server is a
+		// transport fault, not an action failure.
+		return nil, transportErr(ctx, module, "decode", err)
 	}
 	if ar.Error != "" {
-		return nil, fmt.Errorf("wei: %s.%s: %s", module, action, ar.Error)
+		return nil, &RemoteActionError{Module: module, Action: action,
+			Msg: ar.Error, ErrClass: parseErrClass(ar.ErrClass)}
 	}
 	return ar.Result, nil
 }
@@ -234,7 +226,7 @@ func (c *HTTPClient) State(ctx context.Context, module string) (ModuleState, err
 	var out struct {
 		State string `json:"state"`
 	}
-	if err := c.getJSON(ctx, url, &out); err != nil {
+	if err := c.getJSON(ctx, module, "state", url, &out); err != nil {
 		return "", err
 	}
 	return ModuleState(out.State), nil
@@ -247,25 +239,131 @@ func (c *HTTPClient) About(ctx context.Context, module string) (ModuleInfo, erro
 		return ModuleInfo{}, err
 	}
 	var out ModuleInfo
-	if err := c.getJSON(ctx, url, &out); err != nil {
+	if err := c.getJSON(ctx, module, "about", url, &out); err != nil {
 		return ModuleInfo{}, err
 	}
 	return out, nil
 }
 
-func (c *HTTPClient) getJSON(ctx context.Context, url string, v any) error {
+func (c *HTTPClient) getJSON(ctx context.Context, module, op, url string, v any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return err
+		return transportErr(ctx, module, op, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("wei: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return &StatusError{Module: module, Op: op, Code: resp.StatusCode,
+			Body: strings.TrimSpace(string(msg))}
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return transportErr(ctx, module, "decode", err)
+	}
+	return nil
+}
+
+// WorkcellClient drives one remote workcell server's whole-cell endpoints —
+// health-gated admission and the per-campaign session reset — and builds the
+// per-module command client the engine uses. One WorkcellClient corresponds
+// to one cell in a fleet pool.
+type WorkcellClient struct {
+	// Base is the server's base URL (scheme://host:port).
+	Base string
+	// HTTP is the control-plane client (default: DefaultControlTimeout).
+	HTTP *http.Client
+}
+
+// NewWorkcellClient returns a client for the workcell server at base.
+func NewWorkcellClient(base string) *WorkcellClient {
+	return &WorkcellClient{
+		Base: strings.TrimSuffix(base, "/"),
+		HTTP: &http.Client{Timeout: DefaultControlTimeout},
+	}
+}
+
+func (w *WorkcellClient) httpc() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return &http.Client{Timeout: DefaultControlTimeout}
+}
+
+// Health fetches /healthz. Any transport failure, non-200 status or
+// undecodable body returns a ClassWorkcellDown error, so callers can gate
+// admission with Classify.
+func (w *WorkcellClient) Health(ctx context.Context) (HealthInfo, error) {
+	var out HealthInfo
+	if err := w.controlGet(ctx, "health", w.Base+"/healthz", &out); err != nil {
+		return HealthInfo{}, err
+	}
+	if !out.OK {
+		return out, &TransportError{Op: "health", Err: fmt.Errorf("server at %s reports not ok", w.Base)}
+	}
+	return out, nil
+}
+
+// Reset posts /reset, starting a new session: the server restores fresh
+// module state (plate stock, reservoirs) and rolls its command log, so the
+// next campaign starts from a clean cell with a private event boundary.
+func (w *WorkcellClient) Reset(ctx context.Context, campaign string) (ResetInfo, error) {
+	body, _ := json.Marshal(resetRequest{Campaign: campaign})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+"/reset", bytes.NewReader(body))
+	if err != nil {
+		return ResetInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.httpc().Do(req)
+	if err != nil {
+		return ResetInfo{}, transportErr(ctx, "", "reset", err)
+	}
+	defer resp.Body.Close()
+	var out ResetInfo
+	if err := w.controlDecode("reset", resp, &out); err != nil {
+		return ResetInfo{}, err
+	}
+	return out, nil
+}
+
+// ModuleClient returns an HTTPClient addressing the named modules at this
+// workcell's base URL, with the command timeout actTimeout (0 uses
+// DefaultActTimeout).
+func (w *WorkcellClient) ModuleClient(actTimeout time.Duration, modules ...string) *HTTPClient {
+	c := NewHTTPClient(w.Base, modules...)
+	if actTimeout > 0 {
+		c.WithTimeout(actTimeout)
+	}
+	return c
+}
+
+func (w *WorkcellClient) controlGet(ctx context.Context, op, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.httpc().Do(req)
+	if err != nil {
+		return transportErr(ctx, "", op, err)
+	}
+	defer resp.Body.Close()
+	return w.controlDecode(op, resp, v)
+}
+
+// controlDecode applies the control plane's shared response policy: any
+// non-200 status or undecodable body means the cell cannot take campaigns,
+// which is workcell-down regardless of the specific code — unlike module
+// commands, where a 5xx is worth retrying in place.
+func (w *WorkcellClient) controlDecode(op string, resp *http.Response, v any) error {
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &TransportError{Op: op, Err: fmt.Errorf("HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(msg)))}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return &TransportError{Op: op, Err: err}
+	}
+	return nil
 }
