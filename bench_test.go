@@ -215,6 +215,40 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetPipelined measures module-lease pipelining: the same
+// 8-campaign workload on the same seed through one workcell with 1 vs 2
+// lanes. With K=2 each campaign owns a liquid handler while the crane, arm
+// and camera are leased per command, so one campaign mixes while another
+// stages or photographs — K=2 makespan must come in under K=1 on every run.
+func BenchmarkFleetPipelined(b *testing.B) {
+	n := benchSamples(16)
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("lanes=%d", k), func(b *testing.B) {
+			var makespan, speedup, queueWait float64
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(context.Background(), fleetCampaigns(8, n), fleet.Options{
+					Workcells:    1,
+					LanesPerCell: k,
+					Batch:        4,
+					Seed:         2023 + int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 8 {
+					b.Fatalf("completed %d of 8 campaigns", res.Completed)
+				}
+				makespan = res.Makespan.Minutes()
+				speedup = res.Speedup
+				queueWait = res.QueueWait.Minutes()
+			}
+			b.ReportMetric(makespan, "makespan-min")
+			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(queueWait, "queue-wait-min")
+		})
+	}
+}
+
 // BenchmarkFaultResilience measures the retry machinery under command
 // receive faults (the failure mode behind the paper's CCWH metric).
 func BenchmarkFaultResilience(b *testing.B) {

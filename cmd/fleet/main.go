@@ -4,9 +4,18 @@
 // time, and the speedup over a sequential single-workcell baseline.
 //
 //	fleet -campaigns 8 -workcells 4
+//	fleet -campaigns 8 -workcells 2 -lanes 2
 //	fleet -campaigns 8 -workcells 4 -solver bayesian -batch 8 -samples 64
 //	fleet -campaigns 4 -workcells 2 -faults 0.05 -publish
 //	fleet -campaigns 4 -remote http://a:2000,http://b:2000
+//	fleet -campaigns 8 -workcells 4 -lanes 2 -bench-out BENCH_fleet.json
+//
+// With -lanes K each local workcell runs K campaigns concurrently: the cell
+// is built with K liquid handlers, each campaign owns one and keeps its
+// plate on that deck, and the shared plate crane, arm and camera are leased
+// per command (wei.Reservations) so the campaigns pipeline through the cell
+// without ever holding one instrument twice at the same virtual time. The
+// JSON output gains per-module busy/queue-wait breakdowns.
 //
 // With -remote the pool is the listed cmd/workcell-style HTTP servers — one
 // workcell per URL — instead of in-process simulated cells: each campaign
@@ -38,6 +47,8 @@ func main() {
 	var (
 		nCampaigns = flag.Int("campaigns", 8, "number of independent campaigns N")
 		nWorkcells = flag.Int("workcells", 2, "size of the simulated workcell pool M")
+		lanes      = flag.Int("lanes", 1, "concurrent campaigns per workcell K; cells get K liquid handlers and pipeline campaigns under module leases (local pool only)")
+		benchOut   = flag.String("bench-out", "", "write the run's makespan/speedup/utilization benchmark JSON to this file")
 		solverName = flag.String("solver", "genetic", "solver: genetic|genetic-grid|bayesian|random|grid")
 		batch      = flag.Int("batch", 4, "proposals requested from each solver at once (batch size k)")
 		samples    = flag.Int("samples", 32, "sample budget per campaign")
@@ -55,13 +66,22 @@ func main() {
 		fatal(err)
 	}
 	opts := fleet.Options{
-		Workcells: *nWorkcells,
-		Batch:     *batch,
-		Seed:      *seed,
-		Publish:   *publish,
-		Faults:    sim.FaultPlan{PReceive: *faultRate},
+		Workcells:    *nWorkcells,
+		LanesPerCell: *lanes,
+		Batch:        *batch,
+		Seed:         *seed,
+		Publish:      *publish,
+		Faults:       sim.FaultPlan{PReceive: *faultRate},
+	}
+	if *lanes < 1 {
+		fatal(fmt.Errorf("-lanes must be >= 1, got %d", *lanes))
 	}
 	if *remote != "" {
+		if *lanes > 1 {
+			// Lanes provision extra liquid handlers on local simulated
+			// cells; a remote cell's hardware is whatever its server has.
+			fatal(fmt.Errorf("-lanes is a local-pool option and has no effect with -remote"))
+		}
 		urls := splitURLs(*remote)
 		if len(urls) == 0 {
 			fatal(fmt.Errorf("-remote given but no URLs parsed from %q", *remote))
@@ -80,16 +100,65 @@ func main() {
 		fatal(err)
 	}
 
+	s := summarize(res, opts.Workcells)
 	enc := json.NewEncoder(os.Stdout)
 	if !*compact {
 		enc.SetIndent("", "  ")
 	}
-	if err := enc.Encode(summarize(res, opts.Workcells)); err != nil {
+	if err := enc.Encode(s); err != nil {
 		fatal(err)
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, s); err != nil {
+			fatal(err)
+		}
 	}
 	if res.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchOutput is the perf-trajectory record written by -bench-out: the
+// numbers that should only get better PR over PR for a fixed workload.
+type benchOutput struct {
+	Campaigns          int       `json:"campaigns"`
+	Workcells          int       `json:"workcells"`
+	LanesPerCell       int       `json:"lanes_per_cell"`
+	Completed          int       `json:"completed"`
+	MakespanSeconds    float64   `json:"makespan_seconds"`
+	SequentialSeconds  float64   `json:"sequential_seconds"`
+	Speedup            float64   `json:"speedup_vs_sequential"`
+	CampaignsPerHour   float64   `json:"campaigns_per_hour"`
+	QueueWaitSeconds   float64   `json:"queue_wait_seconds"`
+	MeanUtilization    float64   `json:"mean_utilization"`
+	PerCellUtilization []float64 `json:"per_cell_utilization"`
+}
+
+// writeBench saves the benchmark slice of a run summary to path.
+func writeBench(path string, s summary) error {
+	b := benchOutput{
+		Campaigns:         s.Campaigns,
+		Workcells:         s.Workcells,
+		LanesPerCell:      s.LanesPerCell,
+		Completed:         s.Completed,
+		MakespanSeconds:   s.MakespanSeconds,
+		SequentialSeconds: s.SequentialSeconds,
+		Speedup:           s.Speedup,
+		CampaignsPerHour:  s.CampaignsPerHour,
+		QueueWaitSeconds:  s.QueueWaitSeconds,
+	}
+	for _, wc := range s.PerWorkcell {
+		b.PerCellUtilization = append(b.PerCellUtilization, wc.Utilization)
+		b.MeanUtilization += wc.Utilization
+	}
+	if len(s.PerWorkcell) > 0 {
+		b.MeanUtilization /= float64(len(s.PerWorkcell))
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // splitURLs parses the -remote flag: comma-separated base URLs, empty
@@ -119,39 +188,54 @@ func buildCampaigns(n int, solverName string, target color.RGB8, samples int) []
 // summary is the CLI's JSON output shape; durations are reported in seconds
 // of virtual workcell time.
 type summary struct {
-	Campaigns         int               `json:"campaigns"`
-	Workcells         int               `json:"workcells"`
-	Completed         int               `json:"completed"`
-	Failed            int               `json:"failed"`
-	Canceled          int               `json:"canceled"`
-	Samples           int               `json:"samples"`
-	Faults            int               `json:"faults"`
-	MakespanSeconds   float64           `json:"makespan_seconds"`
-	SequentialSeconds float64           `json:"sequential_seconds"`
-	Speedup           float64           `json:"speedup_vs_sequential"`
-	CampaignsPerHour  float64           `json:"campaigns_per_hour"`
-	PerWorkcell       []workcellSummary `json:"per_workcell"`
-	PerCampaign       []campaignSummary `json:"per_campaign"`
+	Campaigns         int                      `json:"campaigns"`
+	Workcells         int                      `json:"workcells"`
+	LanesPerCell      int                      `json:"lanes_per_cell"`
+	Completed         int                      `json:"completed"`
+	Failed            int                      `json:"failed"`
+	Canceled          int                      `json:"canceled"`
+	Samples           int                      `json:"samples"`
+	Faults            int                      `json:"faults"`
+	MakespanSeconds   float64                  `json:"makespan_seconds"`
+	SequentialSeconds float64                  `json:"sequential_seconds"`
+	Speedup           float64                  `json:"speedup_vs_sequential"`
+	CampaignsPerHour  float64                  `json:"campaigns_per_hour"`
+	QueueWaitSeconds  float64                  `json:"queue_wait_seconds"`
+	PerModule         map[string]moduleSummary `json:"per_module,omitempty"`
+	PerWorkcell       []workcellSummary        `json:"per_workcell"`
+	PerCampaign       []campaignSummary        `json:"per_campaign"`
+}
+
+type moduleSummary struct {
+	Commands         int     `json:"commands"`
+	BusySeconds      float64 `json:"busy_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	Utilization      float64 `json:"utilization"`
 }
 
 type workcellSummary struct {
-	Index       int     `json:"index"`
-	Campaigns   int     `json:"campaigns"`
-	BusySeconds float64 `json:"busy_seconds"`
-	Utilization float64 `json:"utilization"`
-	Faults      int     `json:"faults"`
-	Retired     bool    `json:"retired,omitempty"`
+	Index            int     `json:"index"`
+	Lanes            int     `json:"lanes"`
+	Campaigns        int     `json:"campaigns"`
+	BusySeconds      float64 `json:"busy_seconds"`
+	WorkSeconds      float64 `json:"work_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	Utilization      float64 `json:"utilization"`
+	Faults           int     `json:"faults"`
+	Retired          bool    `json:"retired,omitempty"`
 }
 
 type campaignSummary struct {
-	Name        string  `json:"name"`
-	Status      string  `json:"status"`
-	Workcell    int     `json:"workcell"`
-	Attempts    int     `json:"attempts"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Samples     int     `json:"samples"`
-	Best        float64 `json:"best_score"`
-	Error       string  `json:"error,omitempty"`
+	Name             string  `json:"name"`
+	Status           string  `json:"status"`
+	Workcell         int     `json:"workcell"`
+	Lane             int     `json:"lane"`
+	Attempts         int     `json:"attempts"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	Samples          int     `json:"samples"`
+	Best             float64 `json:"best_score"`
+	Error            string  `json:"error,omitempty"`
 }
 
 // summarize converts a fleet result into the CLI output shape.
@@ -159,6 +243,7 @@ func summarize(res *fleet.Result, workcells int) summary {
 	s := summary{
 		Campaigns:         len(res.Campaigns),
 		Workcells:         workcells,
+		LanesPerCell:      res.Lanes,
 		Completed:         res.Completed,
 		Failed:            res.Failed,
 		Canceled:          res.Canceled,
@@ -168,26 +253,43 @@ func summarize(res *fleet.Result, workcells int) summary {
 		SequentialSeconds: res.SequentialWall.Seconds(),
 		Speedup:           res.Speedup,
 		CampaignsPerHour:  res.Throughput,
+		QueueWaitSeconds:  res.QueueWait.Seconds(),
+	}
+	for name, u := range res.Metrics.Modules {
+		if s.PerModule == nil {
+			s.PerModule = map[string]moduleSummary{}
+		}
+		s.PerModule[name] = moduleSummary{
+			Commands:         u.Commands,
+			BusySeconds:      u.Busy.Seconds(),
+			QueueWaitSeconds: u.QueueWait.Seconds(),
+			Utilization:      u.Utilization,
+		}
 	}
 	for _, wc := range res.Workcells {
 		s.PerWorkcell = append(s.PerWorkcell, workcellSummary{
-			Index:       wc.Index,
-			Campaigns:   wc.Campaigns,
-			BusySeconds: wc.Busy.Seconds(),
-			Utilization: wc.Utilization,
-			Faults:      wc.Faults,
-			Retired:     wc.Retired,
+			Index:            wc.Index,
+			Lanes:            wc.Lanes,
+			Campaigns:        wc.Campaigns,
+			BusySeconds:      wc.Busy.Seconds(),
+			WorkSeconds:      wc.Work.Seconds(),
+			QueueWaitSeconds: wc.QueueWait.Seconds(),
+			Utilization:      wc.Utilization,
+			Faults:           wc.Faults,
+			Retired:          wc.Retired,
 		})
 	}
 	for _, cr := range res.Campaigns {
 		cs := campaignSummary{
-			Name:        cr.Campaign.Name,
-			Status:      string(cr.Status),
-			Workcell:    cr.Workcell,
-			Attempts:    cr.Attempts,
-			WallSeconds: cr.Wall.Seconds(),
-			Samples:     cr.Samples,
-			Best:        cr.Best,
+			Name:             cr.Campaign.Name,
+			Status:           string(cr.Status),
+			Workcell:         cr.Workcell,
+			Lane:             cr.Lane,
+			Attempts:         cr.Attempts,
+			WallSeconds:      cr.Wall.Seconds(),
+			QueueWaitSeconds: cr.QueueWait.Seconds(),
+			Samples:          cr.Samples,
+			Best:             cr.Best,
 		}
 		if cr.Err != nil {
 			cs.Error = cr.Err.Error()

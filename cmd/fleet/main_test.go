@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"colormatch/internal/color"
@@ -44,5 +47,51 @@ func TestSplitURLs(t *testing.T) {
 	}
 	if got := splitURLs(",,"); len(got) != 0 {
 		t.Fatalf("empty parse = %#v", got)
+	}
+}
+
+func TestSummarizeLanesAndBenchOut(t *testing.T) {
+	target, _ := color.ParseHex("787878")
+	res, err := fleet.Run(context.Background(), buildCampaigns(4, "random", target, 8), fleet.Options{
+		Workcells: 1, LanesPerCell: 2, Batch: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summarize(res, 1)
+	if s.LanesPerCell != 2 {
+		t.Fatalf("lanes_per_cell = %d", s.LanesPerCell)
+	}
+	if s.QueueWaitSeconds <= 0 {
+		t.Fatalf("queue_wait_seconds = %v, want > 0 with 2 lanes on one cell", s.QueueWaitSeconds)
+	}
+	if len(s.PerModule) == 0 {
+		t.Fatal("per_module breakdown missing")
+	}
+	if _, ok := s.PerModule["pf400"]; !ok {
+		t.Fatalf("per_module lacks pf400: %v", s.PerModule)
+	}
+	if s.PerWorkcell[0].WorkSeconds <= s.PerWorkcell[0].BusySeconds {
+		t.Fatalf("work %v <= busy %v: lanes did not overlap",
+			s.PerWorkcell[0].WorkSeconds, s.PerWorkcell[0].BusySeconds)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := writeBench(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchOutput
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.LanesPerCell != 2 || b.Completed != 4 || b.MakespanSeconds <= 0 || b.Speedup <= 1 {
+		t.Fatalf("bench output = %+v", b)
+	}
+	if b.MeanUtilization <= 0 || len(b.PerCellUtilization) != 1 {
+		t.Fatalf("utilization missing: %+v", b)
 	}
 }

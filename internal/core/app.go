@@ -300,9 +300,16 @@ func (a *App) Run(ctx context.Context) (*Result, error) {
 		}
 		if a.Config.DeckMode {
 			// In deck mode the photo is a separate workflow guarded by the
-			// shared-camera gate.
+			// shared-camera gate. Time blocked on the gate is queue wait in
+			// robot time, logged so the per-module breakdowns (and the fleet
+			// speedup's net-of-contention sequential baseline) include gate
+			// contention alongside module-lease waits.
 			if a.CameraGate != nil {
+				beforeGate := a.Engine.Clock.Now()
 				a.CameraGate.Lock()
+				if wait := a.Engine.Clock.Now().Sub(beforeGate); wait > 0 {
+					a.Engine.Log.Append(wei.Event{Kind: wei.EvGateWait, Module: "camera", QueueWait: wait})
+				}
 			}
 			rec, err = a.Engine.RunWorkflow(ctx, a.wfPhoto, a.baseParams())
 			if a.CameraGate != nil {

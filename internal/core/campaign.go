@@ -15,15 +15,21 @@ import (
 // cheap and per-campaign, so a fleet scheduler calls this once per campaign
 // with an engine forked via wei.Engine.WithLog for a private event log.
 //
+// gate, when non-nil, is the camera gate held across each photo workflow in
+// DeckMode — required whenever several campaigns share one workcell's camera
+// (lane pipelining, multi-OT2 operation). Pass nil for a campaign that has
+// the workcell to itself.
+//
 // pub and dest enable data publication when both are non-nil. Give each
 // campaign its own runner: Run counts every run the runner has executed, so
 // a runner shared across campaigns makes Result.Published cumulative. The
 // returned Result is valid (partial) even when an error is returned.
-func RunCampaign(ctx context.Context, cfg Config, engine *wei.Engine, sol solver.Solver, pub *flow.Runner, dest portal.Ingestor) (*Result, error) {
+func RunCampaign(ctx context.Context, cfg Config, engine *wei.Engine, sol solver.Solver, gate Gate, pub *flow.Runner, dest portal.Ingestor) (*Result, error) {
 	app, err := NewApp(cfg, engine, sol)
 	if err != nil {
 		return nil, err
 	}
+	app.CameraGate = gate
 	if pub != nil && dest != nil {
 		app.EnablePublishing(pub, dest)
 	}

@@ -45,7 +45,7 @@ func TestResultSaveLoadRoundTrip(t *testing.T) {
 	if back.Best.Score != res.Best.Score {
 		t.Fatal("best mismatch")
 	}
-	if back.Metrics != res.Metrics {
+	if !reflect.DeepEqual(back.Metrics, res.Metrics) {
 		t.Fatalf("metrics mismatch:\n%+v\n%+v", back.Metrics, res.Metrics)
 	}
 	if len(back.Events) != len(res.Events) {

@@ -85,7 +85,7 @@ func RunOne(cfg core.Config, opts RunOptions) (*core.Result, *portal.Store, erro
 		store = portal.NewStore()
 		runner = flow.NewRunner(wc.Clock)
 	}
-	res, err := core.RunCampaign(context.Background(), cfg, engine, sol, runner, store)
+	res, err := core.RunCampaign(context.Background(), cfg, engine, sol, nil, runner, store)
 	return res, store, err
 }
 

@@ -24,6 +24,22 @@
 // solver.BatchProposer seam: batch-aware solvers are asked for k ratios at
 // once and the batch fans out across the plate's wells.
 //
+// # Lanes
+//
+// Options.LanesPerCell = K pipelines K campaigns concurrently through each
+// local cell. The cell is provisioned with K liquid handlers; each lane's
+// campaign owns one, keeps its plate on that deck (deck-resident workflow
+// variants), and photographs under a shared camera gate, while the plate
+// crane, arm and replenisher are leased per command through
+// wei.Reservations — FIFO-fair per-module leases measured on the cell's
+// virtual clock. One campaign mixes while another stages or photographs;
+// no instrument is ever held by two steps at the same virtual time
+// (wei.VerifyModuleExclusion asserts this from the event logs). Queue
+// waits surface in CampaignResult.QueueWait and the per-module
+// metrics.Summary.Modules breakdown; WorkcellStats.Busy becomes the
+// first-start-to-last-end span on the cell clock so overlapped lanes are
+// not double-counted, with WorkcellStats.Work/Busy as the pipelining gain.
+//
 // # Time and metrics
 //
 // Each workcell advances its own sim.SimClock, so fleet timing is measured

@@ -48,6 +48,15 @@ type SolverFactory func(c Campaign, rng *sim.RNG) (solver.Solver, error)
 type Options struct {
 	// Workcells is the pool size M (required, >= 1).
 	Workcells int
+	// LanesPerCell is K, the number of campaigns each local workcell runs
+	// concurrently (default 1). With K > 1 every cell is built with K liquid
+	// handlers; each campaign owns one lane's OT-2 and runs deck-resident
+	// workflows, while the plate crane, arm and camera are shared under
+	// per-module leases (wei.Reservations) — campaign A mixes while campaign
+	// B photographs, and no instrument is ever held twice at the same
+	// virtual time. Ignored when Provider is set, unless the provider's
+	// cells implement Laned themselves.
+	LanesPerCell int
 	// Batch, when positive, overrides every campaign's BatchSize: the k
 	// ratios requested from the solver at once and fanned out across wells.
 	Batch int
@@ -111,9 +120,16 @@ type CampaignResult struct {
 	// Attempts counts scheduling attempts (>1 when rescheduled off a sick
 	// workcell).
 	Attempts int
-	// Wall is the final attempt's duration in virtual workcell time.
-	Wall    time.Duration
-	Samples int
+	// Lane is the lane index the final attempt ran in (0 for unlaned cells
+	// and campaigns that never ran).
+	Lane int
+	// Wall is the final attempt's duration in virtual workcell time,
+	// including any time spent queued for leased modules.
+	Wall time.Duration
+	// QueueWait is the total time the final attempt's commands spent
+	// waiting for module leases (zero without lane contention).
+	QueueWait time.Duration
+	Samples   int
 	// Best is the best (lowest) score reached; 0 when no samples completed.
 	Best float64
 	Err  error
@@ -125,10 +141,21 @@ type CampaignResult struct {
 // WorkcellStats describes one workcell's share of the fleet run.
 type WorkcellStats struct {
 	Index int
+	// Lanes is the cell's concurrent-campaign capacity K.
+	Lanes int
 	// Campaigns counts campaign attempts executed here, including failures.
 	Campaigns int
-	// Busy is total virtual time spent running campaigns.
+	// Busy is the virtual time the cell spent running campaigns: the span
+	// from its first campaign's start to its last campaign's end on the
+	// cell's clock. With one lane this equals the sum of campaign walls;
+	// with K lanes overlapped campaigns are not double-counted.
 	Busy time.Duration
+	// Work is the sum of campaign walls executed here. Work/Busy > 1 is the
+	// pipelining gain from running lanes concurrently.
+	Work time.Duration
+	// QueueWait is total time the cell's campaigns spent waiting for module
+	// leases — the contention price of its pipelining gain.
+	QueueWait time.Duration
 	// Utilization is Busy relative to the fleet makespan (0..1).
 	Utilization float64
 	// Faults counts commands the cell's injector failed.
@@ -141,6 +168,8 @@ type WorkcellStats struct {
 type Result struct {
 	Campaigns []CampaignResult
 	Workcells []WorkcellStats
+	// Lanes is the configured concurrent-campaign capacity per cell.
+	Lanes     int
 	Completed int
 	Failed    int
 	Canceled  int
@@ -151,9 +180,13 @@ type Result struct {
 	// Makespan is the busiest workcell's virtual time — the fleet's
 	// wall-clock on the experiment clock.
 	Makespan time.Duration
-	// SequentialWall is the sum of completed campaign durations: the virtual
-	// time one workcell would have needed for the same campaigns.
+	// SequentialWall is the sum of completed campaign durations net of
+	// module queue waits: the virtual time one unshared workcell would have
+	// needed to run the same campaigns back to back.
 	SequentialWall time.Duration
+	// QueueWait is the total time campaigns spent waiting for leased
+	// modules across the fleet.
+	QueueWait time.Duration
 	// Speedup is SequentialWall / Makespan (1.0 for a single workcell).
 	Speedup float64
 	// Throughput is completed campaigns per virtual hour of makespan.
@@ -208,6 +241,21 @@ func (d *dispatcher) next() *task {
 	t := d.queue[0]
 	d.queue = d.queue[1:]
 	return t
+}
+
+// requeue returns an untouched task to the queue — used by a lane that
+// popped a task after a sibling lane retired their shared cell. It reports
+// false when no healthy cell remains to pick the task up; the caller then
+// records the task itself (its outstanding count is still held).
+func (d *dispatcher) requeue(t *task) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.workers <= 0 {
+		return false
+	}
+	d.queue = append(d.queue, t)
+	d.cond.Broadcast()
+	return true
 }
 
 // finalize marks one task as done (in any status).
@@ -268,8 +316,10 @@ func defaultSolver(c Campaign, rng *sim.RNG) (solver.Solver, error) {
 }
 
 // plateDemand estimates how many plates the campaigns consume in total, so
-// one workcell could absorb the whole queue without starving.
-func plateDemand(campaigns []Campaign) int {
+// one workcell could absorb the whole queue without starving. With K lanes a
+// cell can have K partially-used plates in play at once, so the slack scales
+// with the lane count.
+func plateDemand(campaigns []Campaign, lanes int) int {
 	plates := 0
 	for _, c := range campaigns {
 		n := c.Config.TotalSamples
@@ -278,7 +328,7 @@ func plateDemand(campaigns []Campaign) int {
 		}
 		plates += (n+labware.PlateWells-1)/labware.PlateWells + 1
 	}
-	return plates + 2
+	return plates + 1 + lanes
 }
 
 // Run executes the campaigns across a pool of workcells — opts.Workcells
@@ -303,6 +353,9 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	if opts.MaxAttempts < 1 {
 		opts.MaxAttempts = 2
 	}
+	if opts.LanesPerCell < 1 {
+		opts.LanesPerCell = 1
+	}
 	if opts.NewSolver == nil {
 		opts.NewSolver = defaultSolver
 	}
@@ -313,9 +366,9 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 		}
 		stock := opts.PlateStock
 		if stock == 0 {
-			stock = plateDemand(campaigns)
+			stock = plateDemand(campaigns, opts.LanesPerCell)
 		}
-		prov = &localProvider{opts: opts, stock: stock}
+		prov = &localProvider{opts: opts, stock: stock, lanes: opts.LanesPerCell}
 	}
 	pool := prov.Count()
 	if pool < 1 {
@@ -326,6 +379,7 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	res := &Result{
 		Campaigns: make([]CampaignResult, len(campaigns)),
 		Workcells: make([]WorkcellStats, pool),
+		Lanes:     opts.LanesPerCell,
 	}
 	var store *portal.Store
 	if opts.Publish {
@@ -378,6 +432,7 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 			defer wg.Done()
 			stats := &res.Workcells[w]
 			stats.Index = w
+			stats.Lanes = 1
 
 			cell, err := prov.Open(ctx, w)
 			if err != nil {
@@ -393,103 +448,36 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 			clocks[w] = cell.Clock()
 			eng := cell.Engine()
 
-			for {
-				t := d.next()
-				if t == nil {
-					break
-				}
-				if err := ctx.Err(); err != nil {
-					record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
-						Workcell: -1, Attempts: t.attempts, Err: err})
-					d.finalize()
-					continue
-				}
-				if err := cell.Prepare(ctx, t.c); err != nil {
-					if ctxErr := ctx.Err(); ctxErr != nil {
-						// The fleet was canceled mid-Prepare: that is not a
-						// cell failure, so the cell stays and the campaign
-						// drains as canceled like the rest of the queue.
-						record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
-							Workcell: -1, Attempts: t.attempts, Err: ctxErr})
-						d.finalize()
-						continue
-					}
-					// The cell cannot take the campaign (failed health gate
-					// or session reset): retire it and requeue the campaign
-					// without burning a scheduling attempt — the campaign
-					// never ran here, so this failure says nothing about it.
-					stats.Retired = true
-					requeued, orphans := d.fail(t, true)
-					recordOrphans(orphans, err)
-					if !requeued {
-						record(t, CampaignResult{Campaign: t.c, Status: StatusFailed,
-							Workcell: -1, Attempts: t.attempts, Err: err})
-						d.finalize()
-					}
-					break
-				}
-				t.attempts++
-				cr := runOne(ctx, t, w, cell, store, opts)
-				stats.Campaigns++
-				stats.Busy += cr.Wall
-
-				if cr.Err == nil || ctx.Err() != nil {
-					record(t, cr)
-					d.finalize()
-					continue
-				}
-				class := wei.Classify(cr.Err)
-				stepFailure := errors.Is(cr.Err, wei.ErrStepFailed)
-				switch {
-				case class == wei.ClassWorkcellDown:
-					// The cell died under the campaign: retire it and
-					// reschedule unconditionally — the failure is no
-					// evidence against the campaign, so it is not charged
-					// against the MaxAttempts budget (t.charged), and
-					// requeues are bounded by the pool size since every one
-					// retires the cell that produced it.
-					stats.Retired = true
-					requeued, orphans := d.fail(t, true)
-					recordOrphans(orphans, cr.Err)
-					if !requeued {
-						record(t, cr)
-						d.finalize()
-					}
-				case stepFailure && class == wei.ClassPermanent:
-					// Poisoned campaign (unknown module or action): it would
-					// fail on every cell, so fail it here in one scheduling
-					// attempt and keep the healthy cell in the pool.
-					record(t, cr)
-					d.finalize()
-					continue
-				case stepFailure:
-					// Transient faults exhausted the step's retries: the
-					// sick-cell heuristic. Until the campaign's attempt
-					// budget is spent the cell takes the blame and retires;
-					// once the budget is exhausted across different cells the
-					// blame shifts to the campaign and the cell stays.
-					t.charged++
-					if t.charged >= opts.MaxAttempts && t.charged > 1 {
-						record(t, cr)
-						d.finalize()
-						continue
-					}
-					stats.Retired = true
-					requeued, orphans := d.fail(t, t.charged < opts.MaxAttempts)
-					recordOrphans(orphans, cr.Err)
-					if !requeued {
-						record(t, cr)
-						d.finalize()
-					}
-				default:
-					// Application-level failure (solver error, vision
-					// pipeline): the campaign failed on its own terms.
-					record(t, cr)
-					d.finalize()
-					continue
-				}
-				break // this workcell is retired
+			lanes := 1
+			var laned Laned
+			if lc, ok := cell.(Laned); ok && lc.Lanes() > 1 {
+				laned, lanes = lc, lc.Lanes()
 			}
+			stats.Lanes = lanes
+
+			cr := &cellRun{
+				ctx: ctx, d: d, cell: cell, w: w, lanes: lanes,
+				stats: stats, store: store, opts: opts,
+				record: record, recordOrphans: recordOrphans,
+			}
+			var lwg sync.WaitGroup
+			for l := 0; l < lanes; l++ {
+				lwg.Add(1)
+				go func(l int) {
+					defer lwg.Done()
+					var setup LaneSetup
+					if laned != nil {
+						setup = laned.Lane(l)
+					}
+					cr.lane(l, setup)
+				}(l)
+			}
+			lwg.Wait()
+			cr.mu.Lock()
+			if cr.spanSet {
+				stats.Busy = cr.spanEnd.Sub(cr.spanStart)
+			}
+			cr.mu.Unlock()
 			stats.Faults = eng.Faults.Total()
 		}(w)
 	}
@@ -499,9 +487,223 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	return res, ctx.Err()
 }
 
-// runOne executes a single campaign attempt on workcell w.
-func runOne(ctx context.Context, t *task, w int, cell Cell, store *portal.Store, opts Options) CampaignResult {
-	cr := CampaignResult{Campaign: t.c, Workcell: w, Attempts: t.attempts}
+// cellRun is the state one cell's lanes share while draining the queue:
+// the retirement flag (a cell retires once, whichever lane discovers the
+// failure first) and the busy-span accounting that keeps overlapped lane
+// time from being double-counted.
+type cellRun struct {
+	ctx   context.Context
+	d     *dispatcher
+	cell  Cell
+	w     int
+	lanes int
+	stats *WorkcellStats
+	store *portal.Store
+	opts  Options
+
+	record        func(*task, CampaignResult)
+	recordOrphans func([]*task, error)
+
+	mu        sync.Mutex
+	retired   bool
+	spanSet   bool
+	spanStart time.Time
+	spanEnd   time.Time
+}
+
+func (c *cellRun) isRetired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retired
+}
+
+// retire marks the cell retired, reporting whether this caller performed the
+// retirement (and therefore owns the dispatcher's worker decrement). Sibling
+// lanes racing into their own hard failures requeue instead of failing the
+// cell twice.
+func (c *cellRun) retire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.retired {
+		return false
+	}
+	c.retired = true
+	c.stats.Retired = true
+	return true
+}
+
+// note folds one finished campaign attempt into the cell's stats.
+func (c *cellRun) note(start, end time.Time, cres CampaignResult) {
+	c.mu.Lock()
+	c.stats.Campaigns++
+	c.stats.Work += cres.Wall
+	c.stats.QueueWait += cres.QueueWait
+	if !c.spanSet || start.Before(c.spanStart) {
+		c.spanStart = start
+		c.spanSet = true
+	}
+	if end.After(c.spanEnd) {
+		c.spanEnd = end
+	}
+	c.mu.Unlock()
+}
+
+// lane drains the queue as lane l of the cell: pull the next campaign, run
+// it under the lane's setup, apply the failure policy, repeat until the
+// queue is exhausted or the cell retires. With several lanes the loop
+// registers itself as a virtual-clock worker only while a campaign runs, so
+// an idle lane blocked on the queue never stalls the cell's clock.
+func (c *cellRun) lane(l int, setup LaneSetup) {
+	ctx := c.ctx
+	var sc *sim.SimClock
+	if c.lanes > 1 {
+		sc, _ = c.cell.Clock().(*sim.SimClock)
+	}
+	// requeueOrRecord hands a task to another cell, or records it when this
+	// was the last one standing.
+	requeueOrRecord := func(t *task, cres CampaignResult) {
+		if !c.d.requeue(t) {
+			c.record(t, cres)
+			c.d.finalize()
+		}
+	}
+	for {
+		if c.isRetired() {
+			return
+		}
+		t := c.d.next()
+		if t == nil {
+			return
+		}
+		if c.isRetired() {
+			// A sibling lane retired the cell while this lane was blocked in
+			// next(): hand the untouched task back. If no cell is left it is
+			// recorded like the orphans the sibling stranded — canceled when
+			// the fleet context is what actually stopped it.
+			status, cause := StatusFailed, error(fmt.Errorf("fleet: no healthy workcell left"))
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				status, cause = StatusCanceled, ctxErr
+			}
+			requeueOrRecord(t, CampaignResult{Campaign: t.c, Status: status,
+				Workcell: -1, Attempts: t.attempts, Err: cause})
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			c.record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
+				Workcell: -1, Attempts: t.attempts, Err: err})
+			c.d.finalize()
+			continue
+		}
+		if err := c.cell.Prepare(ctx, t.c); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				// The fleet was canceled mid-Prepare: that is not a cell
+				// failure, so the cell stays and the campaign drains as
+				// canceled like the rest of the queue.
+				c.record(t, CampaignResult{Campaign: t.c, Status: StatusCanceled,
+					Workcell: -1, Attempts: t.attempts, Err: ctxErr})
+				c.d.finalize()
+				continue
+			}
+			// The cell cannot take the campaign (failed health gate or
+			// session reset): retire it and requeue the campaign without
+			// burning a scheduling attempt — the campaign never ran here, so
+			// this failure says nothing about it.
+			failed := CampaignResult{Campaign: t.c, Status: StatusFailed,
+				Workcell: -1, Attempts: t.attempts, Err: err}
+			if c.retire() {
+				requeued, orphans := c.d.fail(t, true)
+				c.recordOrphans(orphans, err)
+				if !requeued {
+					c.record(t, failed)
+					c.d.finalize()
+				}
+			} else {
+				requeueOrRecord(t, failed)
+			}
+			return
+		}
+		t.attempts++
+		start := c.cell.Clock().Now()
+		if sc != nil {
+			sc.AddWorker(1)
+		}
+		cres := runOne(ctx, t, c.w, l, c.cell, setup, c.store, c.opts)
+		if sc != nil {
+			sc.DoneWorker()
+		}
+		c.note(start, c.cell.Clock().Now(), cres)
+
+		if cres.Err == nil || ctx.Err() != nil {
+			c.record(t, cres)
+			c.d.finalize()
+			continue
+		}
+		class := wei.Classify(cres.Err)
+		stepFailure := errors.Is(cres.Err, wei.ErrStepFailed)
+		switch {
+		case class == wei.ClassWorkcellDown:
+			// The cell died under the campaign: retire it and reschedule
+			// unconditionally — the failure is no evidence against the
+			// campaign, so it is not charged against the MaxAttempts budget
+			// (t.charged), and requeues are bounded by the pool size since
+			// every one retires the cell that produced it.
+			if c.retire() {
+				requeued, orphans := c.d.fail(t, true)
+				c.recordOrphans(orphans, cres.Err)
+				if !requeued {
+					c.record(t, cres)
+					c.d.finalize()
+				}
+			} else {
+				requeueOrRecord(t, cres)
+			}
+		case stepFailure && class == wei.ClassPermanent:
+			// Poisoned campaign (unknown module or action): it would fail on
+			// every cell, so fail it here in one scheduling attempt and keep
+			// the healthy cell in the pool.
+			c.record(t, cres)
+			c.d.finalize()
+			continue
+		case stepFailure:
+			// Transient faults exhausted the step's retries: the sick-cell
+			// heuristic. Until the campaign's attempt budget is spent the
+			// cell takes the blame and retires; once the budget is exhausted
+			// across different cells the blame shifts to the campaign and
+			// the cell stays.
+			t.charged++
+			if t.charged >= c.opts.MaxAttempts && t.charged > 1 {
+				c.record(t, cres)
+				c.d.finalize()
+				continue
+			}
+			retry := t.charged < c.opts.MaxAttempts
+			if c.retire() {
+				requeued, orphans := c.d.fail(t, retry)
+				c.recordOrphans(orphans, cres.Err)
+				if !requeued {
+					c.record(t, cres)
+					c.d.finalize()
+				}
+			} else if retry {
+				requeueOrRecord(t, cres)
+			} else {
+				c.record(t, cres)
+				c.d.finalize()
+			}
+		default:
+			// Application-level failure (solver error, vision pipeline): the
+			// campaign failed on its own terms.
+			c.record(t, cres)
+			c.d.finalize()
+			continue
+		}
+		return // this cell is retired (by this lane or a sibling)
+	}
+}
+
+// runOne executes a single campaign attempt in lane `lane` of workcell w.
+func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetup, store *portal.Store, opts Options) CampaignResult {
+	cr := CampaignResult{Campaign: t.c, Workcell: w, Attempts: t.attempts, Lane: lane}
 	eng := cell.Engine()
 	clock := cell.Clock()
 
@@ -511,6 +713,15 @@ func runOne(ctx context.Context, t *task, w int, cell Cell, store *portal.Store,
 	}
 	if opts.Batch > 0 {
 		cfg.BatchSize = opts.Batch
+	}
+	// Lane retargeting: the campaign mixes on its lane's own liquid handler
+	// and keeps its plate on that deck, visiting the shared camera only for
+	// gated exposures.
+	if setup.OT2 != "" {
+		cfg.OT2 = setup.OT2
+	}
+	if setup.DeckMode {
+		cfg.DeckMode = true
 	}
 	// Publish under the attempt number: the Experiment name already
 	// identifies the campaign, and a rescheduled campaign may have left a
@@ -536,12 +747,15 @@ func runOne(ctx context.Context, t *task, w int, cell Cell, store *portal.Store,
 		runner = flow.NewRunner(clock)
 	}
 	start := clock.Now()
-	result, err := core.RunCampaign(ctx, cfg, campEng, sol, runner, store)
+	result, err := core.RunCampaign(ctx, cfg, campEng, sol, setup.Gate, runner, store)
 	cr.Wall = clock.Now().Sub(start)
 	cr.Result = result
 	if result != nil {
 		cr.Samples = len(result.Samples)
 		cr.Best = result.Best.Score
+		for _, u := range result.Metrics.Modules {
+			cr.QueueWait += u.QueueWait
+		}
 	}
 	switch {
 	case err == nil:
@@ -564,7 +778,10 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 		switch cr.Status {
 		case StatusCompleted:
 			res.Completed++
-			res.SequentialWall += cr.Wall
+			// Net of lease queue waits: the time an unshared workcell would
+			// have needed, so lane contention cannot inflate the speedup's
+			// sequential baseline.
+			res.SequentialWall += cr.Wall - cr.QueueWait
 			if cr.Result != nil {
 				summaries = append(summaries, cr.Result.Metrics)
 			}
@@ -574,6 +791,7 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 			res.Canceled++
 		}
 		res.Samples += cr.Samples
+		res.QueueWait += cr.QueueWait
 	}
 	for i := range res.Workcells {
 		if res.Workcells[i].Busy > res.Makespan {
@@ -609,15 +827,17 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 			Experiment: "fleet",
 			Time:       clk.Now(),
 			Fields: map[string]any{
-				"campaigns":        len(campaigns),
-				"workcells":        opts.Workcells,
-				"completed":        res.Completed,
-				"failed":           res.Failed,
-				"canceled":         res.Canceled,
-				"samples":          res.Samples,
-				"faults":           res.Faults,
-				"makespan_seconds": res.Makespan.Seconds(),
-				"speedup":          res.Speedup,
+				"campaigns":          len(campaigns),
+				"workcells":          opts.Workcells,
+				"lanes_per_cell":     opts.LanesPerCell,
+				"completed":          res.Completed,
+				"failed":             res.Failed,
+				"canceled":           res.Canceled,
+				"samples":            res.Samples,
+				"faults":             res.Faults,
+				"makespan_seconds":   res.Makespan.Seconds(),
+				"queue_wait_seconds": res.QueueWait.Seconds(),
+				"speedup":            res.Speedup,
 			},
 		}
 		runner.Submit(context.Background(), flow.PublishFleetSummary(store), flow.Input{"record": rec})

@@ -41,11 +41,40 @@ type WorkcellProvider interface {
 	Open(ctx context.Context, w int) (Cell, error)
 }
 
+// LaneSetup tells the scheduler how to run one campaign in a given lane of
+// a cell. With several campaigns pipelined through one workcell, each lane
+// owns a liquid handler while the plate crane, arm and camera are shared
+// under module leases — the LaneSetup carries the per-lane retargeting.
+type LaneSetup struct {
+	// OT2 is the liquid-handler module the lane's campaigns target ("" keeps
+	// the campaign's configured module).
+	OT2 string
+	// DeckMode forces deck-resident workflows: required whenever lanes share
+	// a cell, since the camera mount must stay free between exposures.
+	DeckMode bool
+	// Gate is the camera gate shared across the cell's lanes (nil when the
+	// lane has the camera to itself).
+	Gate core.Gate
+}
+
+// Laned is implemented by cells that accept several concurrent campaigns.
+// The scheduler runs up to Lanes() campaigns at once on such a cell, each
+// under the corresponding LaneSetup; plain Cells run one at a time.
+type Laned interface {
+	// Lanes is the cell's concurrent-campaign capacity K (>= 1).
+	Lanes() int
+	// Lane describes lane l (0-based, l < Lanes()).
+	Lane(l int) LaneSetup
+}
+
 // localProvider is the default provider: per-worker in-process simulated
-// workcells, exactly the pool fleet.Run has always built.
+// workcells, exactly the pool fleet.Run has always built — plus, with
+// LanesPerCell > 1, one liquid handler per lane and a module-lease layer so
+// the lanes pipeline through the shared crane, arm and camera.
 type localProvider struct {
 	opts  Options
 	stock int
+	lanes int
 }
 
 func (p *localProvider) Count() int { return p.opts.Workcells }
@@ -54,8 +83,14 @@ func (p *localProvider) Open(_ context.Context, w int) (Cell, error) {
 	wc := core.NewSimWorkcell(core.WorkcellOptions{
 		Seed:       p.opts.Seed + int64(1000*(w+1)),
 		PlateStock: p.stock,
+		NumOT2:     p.lanes,
 	})
 	eng := wei.NewEngine(wc.Registry, wc.Clock, wei.NewEventLog(wc.Clock))
+	// Every local engine leases modules around dispatch. With one lane the
+	// leases are always free (zero queue wait, unchanged timing); with
+	// several they are what keeps pipelined campaigns mutually exclusive on
+	// each instrument.
+	eng.Reservations = wei.NewReservations(wc.Clock)
 	if p.opts.Faults != (sim.FaultPlan{}) {
 		frng := sim.NewRNG(p.opts.Seed).Derive(fmt.Sprintf("faults_wc%d", w))
 		eng.Faults = sim.NewInjector(p.opts.Faults, frng)
@@ -63,12 +98,18 @@ func (p *localProvider) Open(_ context.Context, w int) (Cell, error) {
 	if p.opts.Tune != nil {
 		p.opts.Tune(w, wc, eng)
 	}
-	return &localCell{wc: wc, eng: eng}, nil
+	cell := &localCell{wc: wc, eng: eng, lanes: p.lanes}
+	if p.lanes > 1 {
+		cell.gate = core.NewCameraGate(wc.SimClock)
+	}
+	return cell, nil
 }
 
 type localCell struct {
-	wc  *core.SimWorkcell
-	eng *wei.Engine
+	wc    *core.SimWorkcell
+	eng   *wei.Engine
+	lanes int
+	gate  core.Gate
 }
 
 func (c *localCell) Engine() *wei.Engine { return c.eng }
@@ -78,6 +119,19 @@ func (c *localCell) Clock() sim.Clock    { return c.wc.Clock }
 // queue at Open, so campaigns share the cell's world as they always have.
 func (c *localCell) Prepare(context.Context, Campaign) error { return nil }
 func (c *localCell) Close() error                            { return nil }
+
+// Lanes implements Laned.
+func (c *localCell) Lanes() int { return c.lanes }
+
+// Lane implements Laned: lane l owns the l-th liquid handler and runs
+// deck-resident workflows behind the shared camera gate whenever the cell
+// has more than one lane.
+func (c *localCell) Lane(l int) LaneSetup {
+	if c.lanes <= 1 {
+		return LaneSetup{}
+	}
+	return LaneSetup{OT2: core.OT2Name(l), DeckMode: true, Gate: c.gate}
+}
 
 // RemoteOptions configure a remote workcell pool.
 type RemoteOptions struct {

@@ -1,12 +1,13 @@
 package metrics
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
 
 func TestAggregateEmpty(t *testing.T) {
-	if s := Aggregate(nil); s != (Summary{}) {
+	if s := Aggregate(nil); !reflect.DeepEqual(s, Summary{}) {
 		t.Fatalf("Aggregate(nil) = %+v", s)
 	}
 }
@@ -52,5 +53,39 @@ func TestAggregateSumsAndMaxes(t *testing.T) {
 	// Weighted mean of upload intervals: (4*10m + 2*20m) / 6.
 	if want := 80 * time.Minute / 6; s.MeanUploadInterval != want {
 		t.Errorf("MeanUploadInterval = %v, want %v", s.MeanUploadInterval, want)
+	}
+}
+
+func TestAggregateMergesModuleBreakdowns(t *testing.T) {
+	parts := []Summary{
+		{
+			Wall: time.Hour,
+			Modules: map[string]ModuleUsage{
+				"pf400": {Commands: 10, Busy: 30 * time.Minute, QueueWait: 5 * time.Minute},
+				"ot2":   {Commands: 4, Busy: 20 * time.Minute},
+			},
+		},
+		{
+			Wall: time.Hour,
+			Modules: map[string]ModuleUsage{
+				"pf400": {Commands: 6, Failed: 2, Busy: 30 * time.Minute, QueueWait: 10 * time.Minute},
+			},
+		},
+		{Wall: 30 * time.Minute}, // no command events: nil map must merge cleanly
+	}
+	s := Aggregate(parts)
+	pf := s.Modules["pf400"]
+	if pf.Commands != 16 || pf.Failed != 2 {
+		t.Errorf("pf400 commands = %d/%d", pf.Commands, pf.Failed)
+	}
+	if pf.Busy != time.Hour || pf.QueueWait != 15*time.Minute {
+		t.Errorf("pf400 busy=%v wait=%v", pf.Busy, pf.QueueWait)
+	}
+	// Utilization re-derived against the summed Wall (2.5h).
+	if want := float64(time.Hour) / float64(150*time.Minute); pf.Utilization != want {
+		t.Errorf("pf400 utilization = %v, want %v", pf.Utilization, want)
+	}
+	if ot2 := s.Modules["ot2"]; ot2.Commands != 4 || ot2.Busy != 20*time.Minute {
+		t.Errorf("ot2 = %+v", ot2)
 	}
 }

@@ -63,6 +63,29 @@ type Summary struct {
 	// spacing between them.
 	Uploads            int
 	MeanUploadInterval time.Duration
+	// Modules breaks occupancy down per module: how long each instrument
+	// was busy, what fraction of the experiment that is, and how long
+	// commands queued for it under module-lease scheduling. The map is nil
+	// when the log holds no command events.
+	Modules map[string]ModuleUsage
+}
+
+// ModuleUsage is one module's share of an experiment (or of a fleet, after
+// Aggregate): occupancy, queue pressure, and command counts.
+type ModuleUsage struct {
+	// Commands counts completed commands on the module.
+	Commands int
+	// Failed counts failed command attempts.
+	Failed int
+	// Busy is the module's total occupancy: durations of completed commands
+	// plus failed attempts (a faulted command still held the instrument).
+	Busy time.Duration
+	// QueueWait is total time commands waited for the module's lease (zero
+	// without module-lease scheduling).
+	QueueWait time.Duration
+	// Utilization is Busy relative to the experiment Wall (after Aggregate:
+	// relative to total robot time consumed across the fleet).
+	Utilization float64
 }
 
 // Compute derives a Summary from an event log. totalColors is supplied by
@@ -118,6 +141,9 @@ func Compute(events []wei.Event, totalColors int) Summary {
 			uploadTimes = append(uploadTimes, e.Time)
 		}
 	}
+	if mods := ModuleBreakdown(events, s.Wall); len(mods) > 0 {
+		s.Modules = mods
+	}
 	if totalColors > 0 {
 		s.TimePerColor = s.Wall / time.Duration(totalColors)
 	}
@@ -128,13 +154,55 @@ func Compute(events []wei.Event, totalColors int) Summary {
 	return s
 }
 
+// ModuleBreakdown derives just the per-module usage table from an event log,
+// without the rest of the Table 1 metrics. wall scales utilization; pass the
+// experiment duration (or 0 to leave Utilization unset).
+func ModuleBreakdown(events []wei.Event, wall time.Duration) map[string]ModuleUsage {
+	out := map[string]ModuleUsage{}
+	for _, e := range events {
+		if e.Module == "" {
+			continue
+		}
+		u := out[e.Module]
+		switch e.Kind {
+		case wei.EvCommandDone:
+			u.Commands++
+			u.Busy += e.Duration
+		case wei.EvCommandFailed:
+			u.Failed++
+			u.Busy += e.Duration
+		case wei.EvCommandSent, wei.EvGateWait:
+			u.QueueWait += e.QueueWait
+		default:
+			continue
+		}
+		out[e.Module] = u
+	}
+	if wall > 0 {
+		for name, u := range out {
+			u.Utilization = float64(u.Busy) / float64(wall)
+			out[name] = u
+		}
+	}
+	return out
+}
+
+// WorkflowModuleBreakdown is ModuleBreakdown restricted to one workflow's
+// events — with several campaigns interleaved on a single log (module-lease
+// pipelining), this isolates which instruments one workflow occupied and how
+// long it queued for them.
+func WorkflowModuleBreakdown(events []wei.Event, workflow string, wall time.Duration) map[string]ModuleUsage {
+	return ModuleBreakdown(wei.FilterWorkflow(events, workflow), wall)
+}
+
 // Aggregate merges per-campaign summaries into one fleet-level summary.
 // Command counts, instrument times, colors, uploads and Wall sum — Wall
 // becomes total robot time consumed across the fleet. TWH and CCWH keep
 // their Table 1 pairing: both come from the single campaign with the
 // longest human-free stretch, since commands from parallel campaigns cannot
 // complete within one stretch. TimePerColor and MeanUploadInterval are
-// recomputed from the merged totals.
+// recomputed from the merged totals, and the per-module breakdowns merge
+// with Utilization re-derived against the summed Wall.
 func Aggregate(parts []Summary) Summary {
 	var s Summary
 	var intervalSpan time.Duration
@@ -155,12 +223,29 @@ func Aggregate(parts []Summary) Summary {
 			intervalSpan += p.MeanUploadInterval * time.Duration(p.Uploads-1)
 			intervalN += p.Uploads - 1
 		}
+		for name, pu := range p.Modules {
+			if s.Modules == nil {
+				s.Modules = map[string]ModuleUsage{}
+			}
+			u := s.Modules[name]
+			u.Commands += pu.Commands
+			u.Failed += pu.Failed
+			u.Busy += pu.Busy
+			u.QueueWait += pu.QueueWait
+			s.Modules[name] = u
+		}
 	}
 	if s.TotalColors > 0 {
 		s.TimePerColor = s.Wall / time.Duration(s.TotalColors)
 	}
 	if intervalN > 0 {
 		s.MeanUploadInterval = intervalSpan / time.Duration(intervalN)
+	}
+	if s.Wall > 0 {
+		for name, u := range s.Modules {
+			u.Utilization = float64(u.Busy) / float64(s.Wall)
+			s.Modules[name] = u
+		}
 	}
 	return s
 }

@@ -135,3 +135,45 @@ func TestFmtDur(t *testing.T) {
 		}
 	}
 }
+
+func TestComputeModuleBreakdown(t *testing.T) {
+	sent := func(at time.Duration, module, workflow string, wait time.Duration) wei.Event {
+		return wei.Event{Time: sim.Epoch.Add(at), Kind: wei.EvCommandSent,
+			Module: module, Workflow: workflow, QueueWait: wait}
+	}
+	done := func(at time.Duration, module, workflow string, dur time.Duration) wei.Event {
+		return wei.Event{Time: sim.Epoch.Add(at), Kind: wei.EvCommandDone,
+			Module: module, Workflow: workflow, Duration: dur}
+	}
+	events := []wei.Event{
+		{Time: sim.Epoch, Kind: wei.EvWorkflowStart, Workflow: "a"},
+		sent(0, "pf400", "a", 0),
+		done(30*time.Second, "pf400", "a", 30*time.Second),
+		sent(40*time.Second, "pf400", "b", 10*time.Second),
+		done(70*time.Second, "pf400", "b", 30*time.Second),
+		sent(70*time.Second, "camera", "b", 0),
+		{Time: sim.Epoch.Add(72 * time.Second), Kind: wei.EvCommandFailed,
+			Module: "camera", Workflow: "b", Duration: 2 * time.Second},
+		{Time: sim.Epoch.Add(100 * time.Second), Kind: wei.EvWorkflowEnd, Workflow: "b"},
+	}
+	s := Compute(events, 0)
+	pf := s.Modules["pf400"]
+	if pf.Commands != 2 || pf.Busy != time.Minute || pf.QueueWait != 10*time.Second {
+		t.Fatalf("pf400 = %+v", pf)
+	}
+	if want := float64(time.Minute) / float64(100*time.Second); pf.Utilization != want {
+		t.Fatalf("pf400 utilization = %v, want %v", pf.Utilization, want)
+	}
+	if cam := s.Modules["camera"]; cam.Failed != 1 || cam.Busy != 2*time.Second || cam.Commands != 0 {
+		t.Fatalf("camera = %+v", cam)
+	}
+
+	// Per-workflow view isolates workflow b's occupancy and queueing.
+	forB := WorkflowModuleBreakdown(events, "b", 0)
+	if pf := forB["pf400"]; pf.Commands != 1 || pf.QueueWait != 10*time.Second {
+		t.Fatalf("workflow b pf400 = %+v", pf)
+	}
+	if _, ok := WorkflowModuleBreakdown(events, "a", 0)["camera"]; ok {
+		t.Fatal("workflow a breakdown leaked workflow b's camera usage")
+	}
+}

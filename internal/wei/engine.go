@@ -32,8 +32,12 @@ type StepRecord struct {
 	Start    time.Time     `json:"start"`
 	End      time.Time     `json:"end"`
 	Duration time.Duration `json:"duration"`
-	Attempts int           `json:"attempts"`
-	Err      string        `json:"err,omitempty"`
+	// QueueWait is the total time this step's attempts spent waiting for the
+	// target module's lease (always zero without a Reservations layer). It is
+	// included in Duration: a step's wall clock runs while it queues.
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
+	Attempts  int           `json:"attempts"`
+	Err       string        `json:"err,omitempty"`
 
 	// Result carries the action's payload to the application (e.g. the
 	// camera frame). It is not serialized into timing files.
@@ -98,6 +102,13 @@ type Engine struct {
 	Log    *EventLog
 	Faults *sim.Injector // nil injects nothing
 
+	// Reservations, when set, makes the engine lease the target module
+	// around every command dispatch, so concurrent RunWorkflow calls (on
+	// this engine or on WithLog forks sharing it) pipeline through the
+	// workcell without ever occupying one instrument twice at the same
+	// time. Nil runs steps unleased — the single-workflow behavior.
+	Reservations *Reservations
+
 	// MaxAttempts bounds command attempts per step (default 3).
 	MaxAttempts int
 	// RetryDelay is the pause between attempts on the experiment clock
@@ -119,7 +130,9 @@ func NewEngine(client Client, clock sim.Clock, log *EventLog) *Engine {
 }
 
 // WithLog returns a copy of the engine bound to log, sharing the client,
-// clock, fault injector and retry policy. Pools keep one engine per workcell
+// clock, fault injector, module reservations and retry policy (shared
+// reservations are what keep WithLog forks mutually exclusive on the
+// workcell's instruments). Pools keep one engine per workcell
 // and fork a fresh event log per campaign, so each run's metrics stay
 // separable while the (possibly expensive) transport is reused.
 func (e *Engine) WithLog(log *EventLog) *Engine {
@@ -210,7 +223,8 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 	if err != nil {
 		sr.Err = err.Error()
 		sr.End = e.Clock.Now()
-		e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name, Err: sr.Err})
+		e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name,
+			Module: step.Module, Action: step.Action, Err: sr.Err})
 		return sr, err
 	}
 
@@ -229,8 +243,17 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 			break
 		}
 		sr.Attempts = attempt
+		// Lease the module for this attempt. The wait happens before the
+		// command is "sent": a queued command sits at the engine, exactly
+		// like a command queued at a busy device computer, and EvCommandSent
+		// through EvCommandDone/Failed bound the exclusive occupancy window.
+		var qw time.Duration
+		if e.Reservations != nil {
+			qw = e.Reservations.Acquire(step.Module)
+			sr.QueueWait += qw
+		}
 		e.Log.Append(Event{Kind: EvCommandSent, Workflow: wfName, Step: step.Name,
-			Module: step.Module, Action: step.Action, Attempt: attempt})
+			Module: step.Module, Action: step.Action, Attempt: attempt, QueueWait: qw})
 		cmdStart := e.Clock.Now()
 
 		res, cmdErr := e.dispatch(ctx, step, args)
@@ -240,15 +263,25 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 			sr.Result = res
 			e.Log.Append(Event{Kind: EvCommandDone, Workflow: wfName, Step: step.Name,
 				Module: step.Module, Action: step.Action, Attempt: attempt, Duration: dur})
+			if e.Reservations != nil {
+				e.Reservations.Release(step.Module)
+			}
 			sr.End = e.Clock.Now()
 			sr.Duration = sr.End.Sub(sr.Start)
 			e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name,
-				Module: step.Module, Action: step.Action, Duration: sr.Duration})
+				Module: step.Module, Action: step.Action, Duration: sr.Duration,
+				QueueWait: sr.QueueWait})
 			return sr, nil
 		}
 		lastErr = cmdErr
 		e.Log.Append(Event{Kind: EvCommandFailed, Workflow: wfName, Step: step.Name,
 			Module: step.Module, Action: step.Action, Attempt: attempt, Duration: dur, Err: cmdErr.Error()})
+		if e.Reservations != nil {
+			// The module frees between attempts: a retry re-queues behind
+			// whoever arrived during the failed attempt, and the retry delay
+			// below is spent unleased.
+			e.Reservations.Release(step.Module)
+		}
 		// Only transient failures are worth another attempt. A permanent
 		// error (canceled context, unknown module or action) or a dead
 		// workcell fails the step immediately — retrying would only delay
@@ -264,7 +297,8 @@ func (e *Engine) runStep(ctx context.Context, wfName string, step Step, params m
 	sr.End = e.Clock.Now()
 	sr.Duration = sr.End.Sub(sr.Start)
 	e.Log.Append(Event{Kind: EvStepEnd, Workflow: wfName, Step: step.Name,
-		Module: step.Module, Action: step.Action, Duration: sr.Duration, Err: sr.Err})
+		Module: step.Module, Action: step.Action, Duration: sr.Duration,
+		QueueWait: sr.QueueWait, Err: sr.Err})
 	return sr, fmt.Errorf("%w: %s.%s: %w", ErrStepFailed, step.Module, step.Action, lastErr)
 }
 

@@ -152,6 +152,20 @@ func TestEngineUnresolvedParamFailsFast(t *testing.T) {
 	if _, err := eng.RunWorkflow(context.Background(), wf, nil); err == nil {
 		t.Fatal("unresolved param accepted")
 	}
+	// The failure-path step_end must carry the same Module/Action fields as
+	// every other step_end, so event consumers can key on them uniformly.
+	found := false
+	for _, e := range eng.Log.Events() {
+		if e.Kind == EvStepEnd && e.Step == "s" {
+			found = true
+			if e.Module != "dev" || e.Action != "work" || e.Err == "" {
+				t.Fatalf("substitution-failure step_end = %+v, want module/action/err populated", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no step_end event for the failed step")
+	}
 }
 
 func TestEngineWritesRunRecordFile(t *testing.T) {

@@ -24,10 +24,15 @@ const (
 	EvCommandSent   EventKind = "command_sent"
 	EvCommandDone   EventKind = "command_completed"
 	EvCommandFailed EventKind = "command_failed"
-	EvCompute       EventKind = "compute"
-	EvPublish       EventKind = "publish"
-	EvHumanInput    EventKind = "human_input"
-	EvNote          EventKind = "note"
+	// EvGateWait records time an application loop spent blocked on a shared-
+	// resource gate (the camera mount) before its workflow could start. The
+	// wait rides QueueWait with Module naming the gated resource, so module
+	// queue-wait breakdowns include gate contention alongside lease waits.
+	EvGateWait   EventKind = "gate_wait"
+	EvCompute    EventKind = "compute"
+	EvPublish    EventKind = "publish"
+	EvHumanInput EventKind = "human_input"
+	EvNote       EventKind = "note"
 )
 
 // Event is one entry in the experiment's event log.
@@ -41,8 +46,13 @@ type Event struct {
 	Action   string        `json:"action,omitempty"`
 	Attempt  int           `json:"attempt,omitempty"`
 	Duration time.Duration `json:"duration,omitempty"`
-	Err      string        `json:"err,omitempty"`
-	Note     string        `json:"note,omitempty"`
+	// QueueWait is time spent waiting for the target module's lease before
+	// the command was sent (EvCommandSent: this attempt's wait; EvStepEnd:
+	// the step's total across attempts). Zero when the module was free or
+	// the engine runs without a Reservations layer.
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
+	Err       string        `json:"err,omitempty"`
+	Note      string        `json:"note,omitempty"`
 }
 
 // EventLog is an append-only, concurrency-safe event record stamped with the
@@ -82,6 +92,20 @@ func (l *EventLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.events)
+}
+
+// FilterWorkflow returns the events belonging to the named workflow, in
+// their original order. With several workflows interleaved on one log (lanes
+// pipelined through a workcell), this recovers one workflow's private view —
+// the input for per-workflow module-utilization metrics.
+func FilterWorkflow(events []Event, workflow string) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Workflow == workflow {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // WriteJSON streams the log as JSON lines.

@@ -1,0 +1,70 @@
+package wei
+
+import (
+	"fmt"
+	"time"
+)
+
+// VerifyModuleExclusion checks one or more event logs for the module-lease
+// invariant: no two commands hold the same module at overlapping virtual
+// times. A command's occupancy window is the half-open [EvCommandSent,
+// EvCommandDone/EvCommandFailed) interval — a release and the next grant may
+// legitimately share a timestamp on the virtual clock.
+//
+// Pass each log separately (e.g. one per campaign pipelined through a
+// workcell): send/completion pairing relies on append order, which is only
+// meaningful within a single log, while the overlap check runs across the
+// union. It returns nil when the invariant holds, or an error describing the
+// first violation found.
+func VerifyModuleExclusion(logs ...[]Event) error {
+	type window struct {
+		start, end time.Time
+		workflow   string
+	}
+	closed := map[string][]window{}
+	for _, events := range logs {
+		type key struct {
+			module, workflow, step string
+			attempt                int
+		}
+		open := map[key]time.Time{}
+		for _, e := range events {
+			if e.Module == "" {
+				continue
+			}
+			k := key{e.Module, e.Workflow, e.Step, e.Attempt}
+			switch e.Kind {
+			case EvCommandSent:
+				if prev, dup := open[k]; dup {
+					return fmt.Errorf("wei: module %s: %s/%s attempt %d re-sent at %v while still in flight since %v",
+						e.Module, e.Workflow, e.Step, e.Attempt, e.Time, prev)
+				}
+				open[k] = e.Time
+			case EvCommandDone, EvCommandFailed:
+				start, ok := open[k]
+				if !ok {
+					return fmt.Errorf("wei: module %s: completion of %s/%s attempt %d at %v without a matching send",
+						e.Module, e.Workflow, e.Step, e.Attempt, e.Time)
+				}
+				delete(open, k)
+				closed[e.Module] = append(closed[e.Module], window{start: start, end: e.Time, workflow: e.Workflow})
+			}
+		}
+		for k, start := range open {
+			return fmt.Errorf("wei: module %s: command %s/%s attempt %d sent at %v never completed",
+				k.module, k.workflow, k.step, k.attempt, start)
+		}
+	}
+	for mod, ws := range closed {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				a, b := ws[i], ws[j]
+				if a.start.Before(b.end) && b.start.Before(a.end) {
+					return fmt.Errorf("wei: module %s: overlapping occupancy [%v, %v) by %s and [%v, %v) by %s",
+						mod, a.start, a.end, a.workflow, b.start, b.end, b.workflow)
+				}
+			}
+		}
+	}
+	return nil
+}

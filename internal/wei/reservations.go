@@ -1,0 +1,166 @@
+package wei
+
+import (
+	"sync"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// Reservations serializes module occupancy across concurrent workflows on
+// one workcell. Each module name maps to a lease; a step acquires the lease
+// of the one module it occupies around its command dispatch, so two
+// workflows pipelined through the same workcell can overlap on different
+// instruments (one mixing on a liquid handler while the other photographs)
+// but never occupy the same instrument at the same virtual time.
+//
+// Leases are FIFO-fair: waiters are granted the module strictly in arrival
+// order, so a long workflow cannot starve a short one. The layer is
+// virtual-clock-aware — a goroutine blocked on a busy module deregisters
+// itself as a simulation worker (exactly like core's camera gate) so
+// virtual time keeps advancing for the workflow that holds the module, and
+// the measured queue wait is robot time, not host time.
+//
+// A nil *Reservations disables leasing: Engine treats it as "this engine is
+// the module's only user", which is the single-workflow behavior the repo
+// always had.
+type Reservations struct {
+	clock sim.Clock
+	// sim is non-nil when clock is a virtual clock whose worker accounting
+	// must be maintained while a caller blocks on a busy module.
+	sim *sim.SimClock
+
+	mu   sync.Mutex
+	mods map[string]*lease
+}
+
+// lease is one module's occupancy state.
+type lease struct {
+	held  bool
+	queue []chan struct{} // FIFO waiters; closed channel = lease handed off
+
+	// usage accounting, all measured on the reservation clock.
+	acquires  int
+	busy      time.Duration
+	queueWait time.Duration
+	maxQueue  int
+	heldSince time.Time
+}
+
+// ModuleUsage is one module's occupancy statistics as observed by the lease
+// layer.
+type ModuleUsage struct {
+	// Acquires counts lease grants (one per command attempt).
+	Acquires int
+	// Busy is total time the module was held.
+	Busy time.Duration
+	// QueueWait is total time acquirers spent waiting for the module.
+	QueueWait time.Duration
+	// MaxQueue is the deepest wait queue observed behind the holder.
+	MaxQueue int
+}
+
+// NewReservations returns a lease table measuring waits on clock. When clock
+// is a *sim.SimClock the table participates in its worker accounting, so
+// blocking on a busy module never stalls virtual time.
+func NewReservations(clock sim.Clock) *Reservations {
+	r := &Reservations{clock: clock, mods: map[string]*lease{}}
+	if sc, ok := clock.(*sim.SimClock); ok {
+		r.sim = sc
+	}
+	return r
+}
+
+// Acquire blocks until the caller holds the named module's lease and returns
+// the queue wait measured on the reservation clock (zero when the module was
+// free). Callers must Release with the same module name.
+func (r *Reservations) Acquire(module string) time.Duration {
+	start := r.clock.Now()
+	r.mu.Lock()
+	l := r.mods[module]
+	if l == nil {
+		l = &lease{}
+		r.mods[module] = l
+	}
+	if !l.held {
+		l.held = true
+		l.acquires++
+		l.heldSince = start
+		r.mu.Unlock()
+		return 0
+	}
+	ch := make(chan struct{})
+	l.queue = append(l.queue, ch)
+	if len(l.queue) > l.maxQueue {
+		l.maxQueue = len(l.queue)
+	}
+	r.mu.Unlock()
+
+	// Deregister as a simulation worker while blocked: the holder's sleeps
+	// are what advance virtual time, and the clock must not wait for us.
+	// Release re-registers us on our behalf before the handoff, so the
+	// clock cannot advance between the grant and our resumption — queue
+	// waits stay deterministic for a given schedule of sleeps.
+	if r.sim != nil {
+		r.sim.DoneWorker()
+	}
+	<-ch
+
+	wait := r.clock.Now().Sub(start)
+	r.mu.Lock()
+	l.acquires++
+	l.queueWait += wait
+	r.mu.Unlock()
+	return wait
+}
+
+// Release returns the module's lease, handing it directly to the oldest
+// waiter if any (the handoff is what makes the queue FIFO-fair: a new
+// Acquire cannot barge in while anyone is queued, because the lease never
+// becomes free in between).
+func (r *Reservations) Release(module string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.mods[module]
+	if l == nil || !l.held {
+		panic("wei: Release of module not held: " + module)
+	}
+	now := r.clock.Now()
+	l.busy += now.Sub(l.heldSince)
+	if len(l.queue) > 0 {
+		ch := l.queue[0]
+		l.queue = l.queue[1:]
+		l.heldSince = now
+		// Re-register the waiter as a clock worker on its behalf before the
+		// handoff: were this left to the waiter after it wakes, the released
+		// clock could advance past the grant while the waiter is still
+		// unscheduled, making measured waits depend on goroutine timing.
+		if r.sim != nil {
+			r.sim.AddWorker(1)
+		}
+		close(ch) // lease stays held; ownership transfers to the waiter
+		return
+	}
+	l.held = false
+}
+
+// Usage returns a snapshot of per-module occupancy statistics. Busy for a
+// currently-held module includes the in-progress hold up to now.
+func (r *Reservations) Usage() map[string]ModuleUsage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]ModuleUsage, len(r.mods))
+	for name, l := range r.mods {
+		u := ModuleUsage{
+			Acquires:  l.acquires,
+			Busy:      l.busy,
+			QueueWait: l.queueWait,
+			MaxQueue:  l.maxQueue,
+		}
+		if l.held {
+			u.Busy += r.clock.Now().Sub(l.heldSince)
+		}
+		out[name] = u
+	}
+	return out
+}
