@@ -7,6 +7,7 @@
 //	fleet -campaigns 8 -workcells 2 -lanes 2
 //	fleet -campaigns 8 -workcells 4 -solver bayesian -batch 8 -samples 64
 //	fleet -campaigns 4 -workcells 2 -faults 0.05 -publish
+//	fleet -campaigns 4 -workcells 2 -portal http://localhost:2100
 //	fleet -campaigns 4 -remote http://a:2000,http://b:2000
 //	fleet -campaigns 8 -workcells 4 -lanes 2 -bench-out BENCH_fleet.json
 //
@@ -16,6 +17,11 @@
 // per command (wei.Reservations) so the campaigns pipeline through the cell
 // without ever holding one instrument twice at the same virtual time. The
 // JSON output gains per-module busy/queue-wait breakdowns.
+//
+// With -portal each campaign's records and the fleet summary are published
+// to the given cmd/portal-style server: every campaign's records are
+// flushed in one POST /ingest/batch round-trip at campaign end. Against a
+// portal started with -data the campaign archive survives portal restarts.
 //
 // With -remote the pool is the listed cmd/workcell-style HTTP servers — one
 // workcell per URL — instead of in-process simulated cells: each campaign
@@ -40,6 +46,7 @@ import (
 	"colormatch/internal/color"
 	"colormatch/internal/core"
 	"colormatch/internal/fleet"
+	"colormatch/internal/portal"
 	"colormatch/internal/sim"
 )
 
@@ -56,6 +63,7 @@ func main() {
 		targetHex  = flag.String("target", "787878", "target color as RRGGBB hex")
 		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell")
 		publish    = flag.Bool("publish", false, "publish campaign records and a fleet summary to an in-memory portal")
+		portalURL  = flag.String("portal", "", "publish campaign records and the fleet summary to this cmd/portal base URL (batch-flushed per campaign; overrides -publish)")
 		compact    = flag.Bool("compact", false, "emit compact JSON instead of indented")
 		remote     = flag.String("remote", "", "comma-separated workcell server base URLs; one remote cell per URL (overrides -workcells; -faults is local-pool-only, -seed still seeds campaign solvers)")
 	)
@@ -72,6 +80,9 @@ func main() {
 		Seed:         *seed,
 		Publish:      *publish,
 		Faults:       sim.FaultPlan{PReceive: *faultRate},
+	}
+	if *portalURL != "" {
+		opts.Portal = portal.NewClient(*portalURL)
 	}
 	if *lanes < 1 {
 		fatal(fmt.Errorf("-lanes must be >= 1, got %d", *lanes))
@@ -201,6 +212,7 @@ type summary struct {
 	Speedup           float64                  `json:"speedup_vs_sequential"`
 	CampaignsPerHour  float64                  `json:"campaigns_per_hour"`
 	QueueWaitSeconds  float64                  `json:"queue_wait_seconds"`
+	PublishError      string                   `json:"summary_publish_error,omitempty"`
 	PerModule         map[string]moduleSummary `json:"per_module,omitempty"`
 	PerWorkcell       []workcellSummary        `json:"per_workcell"`
 	PerCampaign       []campaignSummary        `json:"per_campaign"`
@@ -236,6 +248,7 @@ type campaignSummary struct {
 	Samples          int     `json:"samples"`
 	Best             float64 `json:"best_score"`
 	Error            string  `json:"error,omitempty"`
+	PublishError     string  `json:"publish_error,omitempty"`
 }
 
 // summarize converts a fleet result into the CLI output shape.
@@ -254,6 +267,9 @@ func summarize(res *fleet.Result, workcells int) summary {
 		Speedup:           res.Speedup,
 		CampaignsPerHour:  res.Throughput,
 		QueueWaitSeconds:  res.QueueWait.Seconds(),
+	}
+	if res.PublishErr != nil {
+		s.PublishError = res.PublishErr.Error()
 	}
 	for name, u := range res.Metrics.Modules {
 		if s.PerModule == nil {
@@ -293,6 +309,9 @@ func summarize(res *fleet.Result, workcells int) summary {
 		}
 		if cr.Err != nil {
 			cs.Error = cr.Err.Error()
+		}
+		if cr.PublishErr != nil {
+			cs.PublishError = cr.PublishErr.Error()
 		}
 		s.PerCampaign = append(s.PerCampaign, cs)
 	}

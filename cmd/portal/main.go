@@ -3,9 +3,18 @@
 // to it over HTTP, and users query summaries and run details back.
 //
 //	portal -listen :2100
+//	portal -listen :2100 -data ./portal-data
 //
-// Endpoints: POST /ingest, GET /search, GET /records/<id>,
-// GET /experiments, GET /experiments/<name>/summary, GET /healthz.
+// Without -data the store is in-memory and dies with the process. With
+// -data every accepted record is appended to a JSON segment log (with
+// attachments in separate blob files) under the given directory and
+// replayed on the next start, so the archive survives restarts; a record
+// torn by a crash mid-append is dropped on replay. See docs/PORTAL.md for
+// the directory layout and the full endpoint reference.
+//
+// Endpoints: POST /ingest, POST /ingest/batch, GET /search (with cursor
+// pagination), GET /records/<id>, GET /experiments,
+// GET /experiments/<name>/summary, GET /healthz.
 package main
 
 import (
@@ -19,12 +28,28 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":2100", "HTTP listen address")
+	dataDir := flag.String("data", "", "durable data directory (segment log + blobs), replayed on startup; empty = in-memory only")
 	flag.Parse()
 
-	store := portal.NewStore()
+	var store *portal.Store
+	if *dataDir != "" {
+		var err error
+		store, err = portal.OpenStore(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		fmt.Printf("portal: replayed %d record(s) from %s\n", store.Len(), *dataDir)
+	} else {
+		store = portal.NewStore()
+	}
 	fmt.Printf("portal: listening on %s\n", *listen)
 	if err := http.ListenAndServe(*listen, portal.Serve(store)); err != nil {
-		fmt.Fprintln(os.Stderr, "portal:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "portal:", err)
+	os.Exit(1)
 }

@@ -74,6 +74,14 @@ type Options struct {
 	// number, so a campaign rescheduled off a sick workcell keeps its failed
 	// attempt's partial records separable from the final attempt's.
 	Publish bool
+	// Portal, when set, receives the published records instead of the run's
+	// private in-memory store: pass portal.NewClient(url) to publish to a
+	// remote cmd/portal server (cmd/fleet -portal), or any other Ingestor.
+	// Setting Portal implies Publish; Result.Store stays nil. Destinations
+	// that also implement portal.BatchIngestor (the Store and the HTTP
+	// Client both do) receive each campaign's records as one batch flushed
+	// at campaign end rather than a round-trip per iteration.
+	Portal portal.Ingestor
 	// MaxAttempts bounds the scheduling attempts a campaign is charged for
 	// across workcells (default 2: one reschedule onto a different cell; 1
 	// disables rescheduling). Each charged hard failure before the budget
@@ -133,6 +141,11 @@ type CampaignResult struct {
 	// Best is the best (lowest) score reached; 0 when no samples completed.
 	Best float64
 	Err  error
+	// PublishErr reports a failure delivering the campaign's published
+	// records to the portal (e.g. the remote portal was unreachable at the
+	// end-of-campaign batch flush). It does not affect Status: the campaign
+	// itself still ran to its recorded outcome.
+	PublishErr error
 	// Result is the full experiment result of the final attempt (may be a
 	// valid partial result even for failed campaigns).
 	Result *core.Result
@@ -193,7 +206,13 @@ type Result struct {
 	Throughput float64
 	// Metrics aggregates the completed campaigns' Table 1 summaries.
 	Metrics metrics.Summary
-	// Store holds published records when Options.Publish is set.
+	// PublishErr reports a failure delivering the fleet summary record to
+	// the portal destination (per-campaign delivery failures are on each
+	// CampaignResult.PublishErr). The run itself still succeeded.
+	PublishErr error
+	// Store holds published records when Options.Publish is set without an
+	// external Options.Portal destination; with Portal set the records live
+	// wherever that Ingestor put them and Store is nil.
 	Store *portal.Store
 }
 
@@ -381,9 +400,14 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 		Workcells: make([]WorkcellStats, pool),
 		Lanes:     opts.LanesPerCell,
 	}
+	// dest is the publish destination every campaign and the fleet summary
+	// flow to: the caller's Portal when set, otherwise a run-private
+	// in-memory store surfaced as Result.Store.
 	var store *portal.Store
-	if opts.Publish {
+	dest := opts.Portal
+	if dest == nil && opts.Publish {
 		store = portal.NewStore()
+		dest = store
 	}
 
 	tasks := make([]*task, len(campaigns))
@@ -457,7 +481,7 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 
 			cr := &cellRun{
 				ctx: ctx, d: d, cell: cell, w: w, lanes: lanes,
-				stats: stats, store: store, opts: opts,
+				stats: stats, dest: dest, opts: opts,
 				record: record, recordOrphans: recordOrphans,
 			}
 			var lwg sync.WaitGroup
@@ -483,7 +507,8 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	}
 	wg.Wait()
 
-	finish(res, campaigns, opts, clocks, store)
+	finish(res, campaigns, opts, clocks, dest)
+	res.Store = store
 	return res, ctx.Err()
 }
 
@@ -498,7 +523,7 @@ type cellRun struct {
 	w     int
 	lanes int
 	stats *WorkcellStats
-	store *portal.Store
+	dest  portal.Ingestor
 	opts  Options
 
 	record        func(*task, CampaignResult)
@@ -627,7 +652,7 @@ func (c *cellRun) lane(l int, setup LaneSetup) {
 		if sc != nil {
 			sc.AddWorker(1)
 		}
-		cres := runOne(ctx, t, c.w, l, c.cell, setup, c.store, c.opts)
+		cres := runOne(ctx, t, c.w, l, c.cell, setup, c.dest, c.opts)
 		if sc != nil {
 			sc.DoneWorker()
 		}
@@ -702,7 +727,7 @@ func (c *cellRun) lane(l int, setup LaneSetup) {
 }
 
 // runOne executes a single campaign attempt in lane `lane` of workcell w.
-func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetup, store *portal.Store, opts Options) CampaignResult {
+func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetup, dest portal.Ingestor, opts Options) CampaignResult {
 	cr := CampaignResult{Campaign: t.c, Workcell: w, Attempts: t.attempts, Lane: lane}
 	eng := cell.Engine()
 	clock := cell.Clock()
@@ -739,16 +764,37 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 
 	// Fork the long-lived workcell engine with a per-campaign event log, and
 	// give the campaign its own flow runner, so each campaign's metrics and
-	// publish counts stay separable. The shared store is the only cross-
-	// campaign publication state.
+	// publish counts stay separable. The shared destination is the only
+	// cross-campaign publication state, and when it can ingest batches the
+	// campaign publishes through a buffer flushed once at campaign end — one
+	// round-trip per campaign against a remote portal instead of one per
+	// iteration.
 	campEng := eng.WithLog(wei.NewEventLog(clock))
 	var runner *flow.Runner
-	if store != nil {
+	var buf *portal.Buffer
+	campDest := dest
+	if dest != nil {
 		runner = flow.NewRunner(clock)
+		if batcher, ok := dest.(portal.BatchIngestor); ok {
+			buf = portal.NewBuffer(batcher)
+			campDest = buf
+		}
 	}
 	start := clock.Now()
-	result, err := core.RunCampaign(ctx, cfg, campEng, sol, setup.Gate, runner, store)
+	result, err := core.RunCampaign(ctx, cfg, campEng, sol, setup.Gate, runner, campDest)
 	cr.Wall = clock.Now().Sub(start)
+	if runner != nil {
+		// Publication flows are asynchronous; make sure every record landed
+		// in the buffer (or the destination) before the flush and before the
+		// attempt is accounted done. Failed campaigns return without waiting
+		// on their publisher, so this wait is not redundant with App.Run's.
+		runner.WaitAll()
+	}
+	if buf != nil {
+		if _, ferr := buf.Flush(); ferr != nil {
+			cr.PublishErr = fmt.Errorf("fleet: flush campaign records: %w", ferr)
+		}
+	}
 	cr.Result = result
 	if result != nil {
 		cr.Samples = len(result.Samples)
@@ -771,8 +817,8 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 }
 
 // finish derives the aggregate fleet metrics and publishes the summary
-// record.
-func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock, store *portal.Store) {
+// record to dest (the external portal or the run's in-memory store).
+func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock, dest portal.Ingestor) {
 	var summaries []metrics.Summary
 	for _, cr := range res.Campaigns {
 		switch cr.Status {
@@ -810,7 +856,7 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 	}
 	res.Metrics = metrics.Aggregate(summaries)
 
-	if store != nil {
+	if dest != nil {
 		// Stamp the summary from the farthest-ahead cell clock. A worker
 		// whose cell never opened leaves a nil clock behind.
 		var clk sim.Clock
@@ -840,8 +886,11 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 				"speedup":            res.Speedup,
 			},
 		}
-		runner.Submit(context.Background(), flow.PublishFleetSummary(store), flow.Input{"record": rec})
-		runner.WaitAll()
-		res.Store = store
+		run := runner.Submit(context.Background(), flow.PublishFleetSummary(dest), flow.Input{"record": rec})
+		if _, err := run.Wait(); err != nil {
+			// Newly reachable with an external Portal destination: an
+			// unreachable portal must not pass silently as a clean run.
+			res.PublishErr = fmt.Errorf("fleet: publish fleet summary: %w", err)
+		}
 	}
 }

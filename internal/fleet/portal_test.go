@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"colormatch/internal/portal"
+)
+
+// TestFleetPublishesToExternalPortal routes a fleet run at an
+// Options.Portal destination instead of the run-private store: every
+// campaign's records and the fleet summary land there, and Result.Store
+// stays nil.
+func TestFleetPublishesToExternalPortal(t *testing.T) {
+	store := portal.NewStore()
+	res, err := Run(context.Background(), quickCampaigns(2, 8), Options{
+		Workcells: 2, Seed: 9, Portal: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.Store != nil {
+		t.Fatal("Result.Store should be nil when Options.Portal is set")
+	}
+	for _, cr := range res.Campaigns {
+		if cr.PublishErr != nil {
+			t.Fatalf("campaign %s publish error: %v", cr.Campaign.Name, cr.PublishErr)
+		}
+		recs := store.Search(portal.Query{Experiment: "fleet_" + cr.Campaign.Name})
+		if len(recs) == 0 {
+			t.Fatalf("campaign %s published no records", cr.Campaign.Name)
+		}
+	}
+	if sum := store.Search(portal.Query{Experiment: "fleet"}); len(sum) != 1 {
+		t.Fatalf("fleet summary records = %d", len(sum))
+	}
+	if res.PublishErr != nil {
+		t.Fatalf("summary publish error: %v", res.PublishErr)
+	}
+}
+
+// failingIngestor rejects everything — an unreachable portal.
+type failingIngestor struct{}
+
+func (failingIngestor) Ingest(portal.Record) (string, error) {
+	return "", errors.New("portal unreachable")
+}
+
+// TestFleetSurfacesSummaryPublishFailure: with an external portal that is
+// down, the run still completes but Result.PublishErr reports the lost
+// fleet summary instead of passing silently.
+func TestFleetSurfacesSummaryPublishFailure(t *testing.T) {
+	res, err := Run(context.Background(), quickCampaigns(1, 8), Options{
+		Workcells: 1, Seed: 3, Portal: failingIngestor{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.PublishErr == nil {
+		t.Fatal("summary publish failure passed silently")
+	}
+}
+
+// TestFleetPortalSurvivesRestart is the acceptance path: a fleet publishes
+// over HTTP to a portal backed by a data directory, the portal process
+// "restarts" (server closed, store closed, directory reopened), and the
+// new instance serves every campaign record, the fleet summary, and the
+// plate-image attachments from the replayed log.
+func TestFleetPortalSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := portal.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(portal.Serve(store))
+
+	res, err := Run(context.Background(), quickCampaigns(2, 8), Options{
+		Workcells: 2, Seed: 5, Portal: portal.NewClient(srv.URL),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	for _, cr := range res.Campaigns {
+		if cr.PublishErr != nil {
+			t.Fatalf("campaign %s publish error: %v", cr.Campaign.Name, cr.PublishErr)
+		}
+	}
+	published := store.Len()
+	if published == 0 {
+		t.Fatal("nothing published before restart")
+	}
+
+	// Restart: kill the serving process state entirely.
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := portal.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	srv2 := httptest.NewServer(portal.Serve(reopened))
+	defer srv2.Close()
+	client := portal.NewClient(srv2.URL)
+
+	if reopened.Len() != published {
+		t.Fatalf("replayed %d of %d records", reopened.Len(), published)
+	}
+	for _, cr := range res.Campaigns {
+		recs, err := client.Search("fleet_"+cr.Campaign.Name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("campaign %s records missing after restart", cr.Campaign.Name)
+		}
+		// The plate image rides as a blob and must be served in full.
+		full, err := client.Get(recs[0].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full.Files["plate.png"]) == 0 {
+			t.Fatalf("campaign %s record %s lost its plate image", cr.Campaign.Name, recs[0].ID)
+		}
+	}
+	sum, err := client.Summary("fleet")
+	if err != nil || sum.Records != 1 {
+		t.Fatalf("fleet summary after restart = %+v, %v", sum, err)
+	}
+}

@@ -1,0 +1,63 @@
+package portal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Buffer is an Ingestor that queues records in memory and forwards them to
+// a BatchIngestor in one Flush call — one store lock acquisition, or one
+// HTTP round-trip for a remote portal. A fleet campaign publishes through a
+// Buffer so its whole run lands on the portal in a single batch.
+//
+// Ingest on a Buffer cannot know the destination-assigned ID yet, so it
+// returns the record's own ID when set and a "buffered-N" placeholder
+// otherwise; Flush returns the real IDs in buffered order.
+type Buffer struct {
+	mu   sync.Mutex
+	dest BatchIngestor
+	recs []Record
+}
+
+// NewBuffer returns an empty buffer draining into dest.
+func NewBuffer(dest BatchIngestor) *Buffer {
+	return &Buffer{dest: dest}
+}
+
+// Ingest implements Ingestor by queueing the record locally.
+func (b *Buffer) Ingest(rec Record) (string, error) {
+	if rec.Experiment == "" {
+		return "", fmt.Errorf("portal: record missing experiment name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.recs = append(b.recs, rec)
+	if rec.ID != "" {
+		return rec.ID, nil
+	}
+	return fmt.Sprintf("buffered-%d", len(b.recs)), nil
+}
+
+// Len reports the number of records waiting to be flushed.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Flush sends every buffered record to the destination in one IngestBatch
+// call and returns the assigned IDs. On error the records stay buffered so
+// a retried Flush loses nothing. Flushing an empty buffer is a no-op.
+func (b *Buffer) Flush() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.recs) == 0 {
+		return nil, nil
+	}
+	ids, err := b.dest.IngestBatch(b.recs)
+	if err != nil {
+		return nil, err
+	}
+	b.recs = nil
+	return ids, nil
+}

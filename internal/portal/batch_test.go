@@ -1,0 +1,165 @@
+package portal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIngestBatchAssignsIDs(t *testing.T) {
+	s := NewStore()
+	recs := diskRecords(4)
+	ids, err := s.IngestBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 || s.Len() != 4 {
+		t.Fatalf("ids=%v Len=%d", ids, s.Len())
+	}
+	for i, id := range ids {
+		got, err := s.Get(id)
+		if err != nil || got.Run != i {
+			t.Fatalf("id %s -> %+v, %v", id, got, err)
+		}
+	}
+}
+
+// TestIngestBatchAtomicValidation: one bad record anywhere in the batch
+// rejects the whole batch, leaving the store unchanged.
+func TestIngestBatchAtomicValidation(t *testing.T) {
+	s := NewStore()
+	recs := diskRecords(3)
+	recs[2].Experiment = "" // poisoned
+	if _, err := s.IngestBatch(recs); err == nil {
+		t.Fatal("batch with invalid record accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("partial batch ingested: Len = %d", s.Len())
+	}
+
+	// Duplicate IDs inside one batch are rejected too.
+	dup := diskRecords(2)
+	dup[0].ID, dup[1].ID = "same", "same"
+	if _, err := s.IngestBatch(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("intra-batch duplicate accepted: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("partial batch ingested: Len = %d", s.Len())
+	}
+}
+
+// TestIngestBatchDoesNotMutateCaller: ID assignment happens on a private
+// copy, so the caller's records (e.g. a Buffer retrying a failed flush)
+// never carry provisional IDs from an attempt that did not commit.
+func TestIngestBatchDoesNotMutateCaller(t *testing.T) {
+	s := NewStore()
+	recs := []Record{{Experiment: "e", Time: time.Now()}, {Experiment: "e", Time: time.Now()}}
+	ids, err := s.IngestBatch(recs)
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("batch: %v, %v", ids, err)
+	}
+	for i, r := range recs {
+		if r.ID != "" {
+			t.Fatalf("caller record %d was stamped with id %q", i, r.ID)
+		}
+	}
+}
+
+// TestBufferFlushRetriesAfterTransientFailure: a destination that fails
+// once must accept the identical batch on the retry — the failed attempt
+// may not poison the buffered records.
+func TestBufferFlushRetriesAfterTransientFailure(t *testing.T) {
+	s := NewStore()
+	flaky := &flakyBatcher{dest: s, failures: 1}
+	buf := NewBuffer(flaky)
+	for i := 0; i < 3; i++ {
+		buf.Ingest(Record{Experiment: "retry", Run: i, Time: time.Now()})
+	}
+	if _, err := buf.Flush(); err == nil {
+		t.Fatal("first flush should fail")
+	}
+	ids, err := buf.Flush()
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("retried flush: %v, %v", ids, err)
+	}
+	if s.Len() != 3 || buf.Len() != 0 {
+		t.Fatalf("after retry: store=%d buffer=%d", s.Len(), buf.Len())
+	}
+}
+
+// flakyBatcher fails its first `failures` IngestBatch calls, then delegates.
+type flakyBatcher struct {
+	dest     BatchIngestor
+	failures int
+}
+
+func (f *flakyBatcher) Ingest(rec Record) (string, error) { return f.dest.Ingest(rec) }
+
+func (f *flakyBatcher) IngestBatch(recs []Record) ([]string, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, errTransient
+	}
+	return f.dest.IngestBatch(recs)
+}
+
+var errTransient = fmt.Errorf("transient portal outage")
+
+func TestIngestBatchEmpty(t *testing.T) {
+	s := NewStore()
+	ids, err := s.IngestBatch(nil)
+	if err != nil || ids != nil {
+		t.Fatalf("empty batch: %v, %v", ids, err)
+	}
+}
+
+func TestBufferFlushesOnce(t *testing.T) {
+	s := NewStore()
+	buf := NewBuffer(s)
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		id, err := buf.Ingest(Record{Experiment: "buf", Run: i, Time: t0.Add(time.Duration(i) * time.Minute)})
+		if err != nil || id == "" {
+			t.Fatalf("buffer ingest: %q, %v", id, err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatal("buffer leaked records before flush")
+	}
+	if buf.Len() != 5 {
+		t.Fatalf("buffer Len = %d", buf.Len())
+	}
+	ids, err := buf.Flush()
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("flush: %v, %v", ids, err)
+	}
+	if s.Len() != 5 || buf.Len() != 0 {
+		t.Fatalf("after flush: store=%d buffer=%d", s.Len(), buf.Len())
+	}
+	// Empty re-flush is a no-op.
+	if ids, err := buf.Flush(); err != nil || ids != nil {
+		t.Fatalf("re-flush: %v, %v", ids, err)
+	}
+}
+
+func TestBufferRetainsRecordsOnFailedFlush(t *testing.T) {
+	s := NewStore()
+	buf := NewBuffer(s)
+	buf.Ingest(Record{Experiment: "ok", Time: time.Now()})
+	buf.Ingest(Record{ID: "dup", Experiment: "ok", Time: time.Now()})
+	buf.Ingest(Record{ID: "dup", Experiment: "ok", Time: time.Now()})
+	if _, err := buf.Flush(); err == nil {
+		t.Fatal("flush of duplicate ids succeeded")
+	}
+	// Nothing was lost: the records are still buffered for a retry.
+	if buf.Len() != 3 {
+		t.Fatalf("buffer Len after failed flush = %d", buf.Len())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed flush partially ingested: %d", s.Len())
+	}
+	if _, err := buf.Ingest(Record{}); err == nil {
+		t.Fatal("buffer accepted record without experiment")
+	}
+}

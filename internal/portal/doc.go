@@ -1,0 +1,52 @@
+// Package portal reimplements the role of the ALCF Community Data Co-Op
+// (ACDC) portal in the paper's pipeline: a searchable store that the
+// color-picker application publishes each run's data to — "the colors
+// produced, the timing of each step, the scoring results from the solver,
+// and the raw plate images for quality control" — with the summary and
+// per-run detail views shown in the paper's Figure 3.
+//
+// # Store
+//
+// The central type is [Store], a searchable record archive with two
+// construction modes:
+//
+//   - [NewStore] builds a purely in-memory store: zero dependencies, dies
+//     with the process. It remains the default for tests, examples, and
+//     fleet runs that only need a per-run scratch portal.
+//   - [OpenStore] builds a durable store backed by a data directory: every
+//     ingested record is appended to a JSON segment log and its binary
+//     attachments are written to separate blob files, and on the next
+//     OpenStore the log is replayed to rebuild the store. A torn final
+//     record (the process died mid-append) is dropped on replay; everything
+//     before it survives.
+//
+// Both modes serve reads from the same in-memory indexes — per-experiment
+// and global record lists pre-sorted by (time, ingest order) — so [Store.Search]
+// answers experiment- and time-filtered queries without scanning the whole
+// archive, and [Store.Summarize] serves each experiment's summary from a
+// cache that is invalidated only when that experiment ingests a new record.
+//
+// # Queries
+//
+// [Store.Search] returns matching records oldest-first. For bounded result
+// pages use [Store.SearchPage], which honors [Query].Limit and returns an
+// opaque resume cursor; passing that cursor back in [Query].Cursor continues
+// the listing where the previous page stopped, stable under concurrent
+// ingest.
+//
+// # Ingest
+//
+// [Ingestor] is the single-record publish seam used by the flow layer;
+// [BatchIngestor] extends it with [Store.IngestBatch], which validates and
+// appends many records under one lock acquisition (and, over HTTP, one
+// round-trip). [Buffer] adapts between the two: it is an Ingestor that
+// queues records in memory and forwards them to a BatchIngestor in a single
+// Flush — the shape a fleet campaign uses to publish its whole run at once.
+//
+// # HTTP
+//
+// [Serve] exposes the store over HTTP (ingest, batch ingest, search with
+// cursors, record fetch, experiment summaries, and the Figure 3 HTML index)
+// and [Client] is the matching remote [Ingestor]. See docs/PORTAL.md for
+// the wire-level operator guide.
+package portal

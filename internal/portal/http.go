@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -15,8 +16,11 @@ import (
 
 // The HTTP wire protocol:
 //   POST /ingest                      wireRecord -> {"id": ...}
+//   POST /ingest/batch                [wireRecord] -> {"ids": [...]}
 //   GET  /records/<id>                wireRecord
-//   GET  /search?experiment=&run=&limit=   [wireRecord] (files as sizes)
+//   GET  /search?experiment=&run=&after=&before=&limit=&cursor=
+//                                     {"records": [wireRecord], "next_cursor": ...}
+//                                     (files as sizes; timestamps RFC 3339)
 //   GET  /experiments                 [names]
 //   GET  /experiments/<name>/summary  Summary
 //   GET  /healthz                     {"ok": true}
@@ -41,10 +45,16 @@ func toWire(r Record, withFiles bool) wireRecord {
 				w.Files[name] = base64.StdEncoding.EncodeToString(data)
 			}
 		}
-	} else if len(r.Files) > 0 {
-		w.FileSizes = r.FileSizes()
+	} else if sizes := r.FileSizes(); len(sizes) > 0 {
+		w.FileSizes = sizes
 	}
 	return w
+}
+
+// wirePage is the JSON form of one search result page.
+type wirePage struct {
+	Records    []wireRecord `json:"records"`
+	NextCursor string       `json:"next_cursor,omitempty"`
 }
 
 func fromWire(w wireRecord) (Record, error) {
@@ -58,6 +68,9 @@ func fromWire(w wireRecord) (Record, error) {
 			}
 			r.Files[name] = data
 		}
+	}
+	if len(w.FileSizes) > 0 {
+		r.sizes = w.FileSizes
 	}
 	return r, nil
 }
@@ -87,6 +100,35 @@ func Serve(store *Store) http.Handler {
 		}
 		writeJSON(w, map[string]any{"id": id})
 	})
+	mux.HandleFunc("/ingest/batch", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var wrs []wireRecord
+		if err := json.NewDecoder(req.Body).Decode(&wrs); err != nil {
+			http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		recs := make([]Record, len(wrs))
+		for i, wr := range wrs {
+			rec, err := fromWire(wr)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("record %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			recs[i] = rec
+		}
+		ids, err := store.IngestBatch(recs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if ids == nil {
+			ids = []string{}
+		}
+		writeJSON(w, map[string]any{"ids": ids})
+	})
 	mux.HandleFunc("/records/", func(w http.ResponseWriter, req *http.Request) {
 		id := strings.TrimPrefix(req.URL.Path, "/records/")
 		rec, err := store.Get(id)
@@ -97,8 +139,9 @@ func Serve(store *Store) http.Handler {
 		writeJSON(w, toWire(rec, true))
 	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, req *http.Request) {
-		q := Query{Experiment: req.URL.Query().Get("experiment")}
-		if runStr := req.URL.Query().Get("run"); runStr != "" {
+		params := req.URL.Query()
+		q := Query{Experiment: params.Get("experiment"), Cursor: params.Get("cursor")}
+		if runStr := params.Get("run"); runStr != "" {
 			run, err := strconv.Atoi(runStr)
 			if err != nil {
 				http.Error(w, "bad run", http.StatusBadRequest)
@@ -106,7 +149,7 @@ func Serve(store *Store) http.Handler {
 			}
 			q.Run, q.HasRun = run, true
 		}
-		if limStr := req.URL.Query().Get("limit"); limStr != "" {
+		if limStr := params.Get("limit"); limStr != "" {
 			lim, err := strconv.Atoi(limStr)
 			if err != nil {
 				http.Error(w, "bad limit", http.StatusBadRequest)
@@ -114,10 +157,24 @@ func Serve(store *Store) http.Handler {
 			}
 			q.Limit = lim
 		}
-		recs := store.Search(q)
-		out := make([]wireRecord, len(recs))
-		for i, r := range recs {
-			out[i] = toWire(r, false)
+		for param, dst := range map[string]*time.Time{"after": &q.After, "before": &q.Before} {
+			if str := params.Get(param); str != "" {
+				t, err := time.Parse(time.RFC3339, str)
+				if err != nil {
+					http.Error(w, "bad "+param+" (want RFC 3339)", http.StatusBadRequest)
+					return
+				}
+				*dst = t
+			}
+		}
+		page, err := store.SearchPage(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := wirePage{Records: make([]wireRecord, len(page.Records)), NextCursor: page.Next}
+		for i, r := range page.Records {
+			out.Records[i] = toWire(r, false)
 		}
 		writeJSON(w, out)
 	})
@@ -188,6 +245,42 @@ func (c *Client) Ingest(rec Record) (string, error) {
 	return out.ID, nil
 }
 
+// IngestBatch implements BatchIngestor over HTTP: the whole batch travels
+// in one POST /ingest/batch round-trip and is accepted or rejected as a
+// unit.
+func (c *Client) IngestBatch(recs []Record) ([]string, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	wires := make([]wireRecord, len(recs))
+	for i, rec := range recs {
+		wires[i] = toWire(rec, true)
+	}
+	body, err := json.Marshal(wires)
+	if err != nil {
+		return nil, fmt.Errorf("portal: encode batch: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/ingest/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("portal: ingest batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("portal: ingest batch: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("portal: decode batch response: %w", err)
+	}
+	if len(out.IDs) != len(recs) {
+		return nil, fmt.Errorf("portal: batch response has %d ids for %d records", len(out.IDs), len(recs))
+	}
+	return out.IDs, nil
+}
+
 // Summary fetches an experiment summary.
 func (c *Client) Summary(experiment string) (Summary, error) {
 	var sum Summary
@@ -195,25 +288,54 @@ func (c *Client) Summary(experiment string) (Summary, error) {
 	return sum, err
 }
 
-// Search queries records (attachments reported as sizes only).
+// Search queries records (attachments reported as sizes only). For
+// cursor-based pagination use SearchPage.
 func (c *Client) Search(experiment string, limit int) ([]Record, error) {
-	url := "/search?experiment=" + experiment
-	if limit > 0 {
-		url += fmt.Sprintf("&limit=%d", limit)
-	}
-	var wires []wireRecord
-	if err := c.getJSON(url, &wires); err != nil {
+	page, err := c.SearchPage(Query{Experiment: experiment, Limit: limit})
+	if err != nil {
 		return nil, err
 	}
-	out := make([]Record, len(wires))
-	for i, w := range wires {
+	return page.Records, nil
+}
+
+// SearchPage queries one page of records, mirroring Store.SearchPage over
+// the wire: pass Page.Next back as Query.Cursor to continue the listing.
+func (c *Client) SearchPage(q Query) (Page, error) {
+	params := url.Values{}
+	if q.Experiment != "" {
+		params.Set("experiment", q.Experiment)
+	}
+	if q.HasRun {
+		params.Set("run", strconv.Itoa(q.Run))
+	}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Cursor != "" {
+		params.Set("cursor", q.Cursor)
+	}
+	// RFC3339Nano keeps sub-second precision on the wire; the server's
+	// RFC 3339 parse accepts fractional seconds, so a remote time window
+	// matches the same Query against a local store exactly.
+	if !q.After.IsZero() {
+		params.Set("after", q.After.Format(time.RFC3339Nano))
+	}
+	if !q.Before.IsZero() {
+		params.Set("before", q.Before.Format(time.RFC3339Nano))
+	}
+	var wp wirePage
+	if err := c.getJSON("/search?"+params.Encode(), &wp); err != nil {
+		return Page{}, err
+	}
+	page := Page{Next: wp.NextCursor}
+	for _, w := range wp.Records {
 		rec, err := fromWire(w)
 		if err != nil {
-			return nil, err
+			return Page{}, err
 		}
-		out[i] = rec
+		page.Records = append(page.Records, rec)
 	}
-	return out, nil
+	return page, nil
 }
 
 // Get fetches one full record including attachments.

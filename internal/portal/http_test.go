@@ -90,6 +90,101 @@ func TestHTTPSummary(t *testing.T) {
 	}
 }
 
+func TestHTTPIngestBatch(t *testing.T) {
+	c, store := newPortalFixture(t)
+	recs := []Record{
+		{Experiment: "batch", Run: 1, Time: time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC),
+			Files: map[string][]byte{"plate.png": []byte("img1")}},
+		{Experiment: "batch", Run: 2, Time: time.Date(2023, 8, 16, 9, 1, 0, 0, time.UTC)},
+		{Experiment: "batch", Run: 3, Time: time.Date(2023, 8, 16, 9, 2, 0, 0, time.UTC)},
+	}
+	ids, err := c.IngestBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || store.Len() != 3 {
+		t.Fatalf("ids=%v Len=%d", ids, store.Len())
+	}
+	got, err := c.Get(ids[0])
+	if err != nil || string(got.Files["plate.png"]) != "img1" {
+		t.Fatalf("batch record roundtrip: %+v, %v", got, err)
+	}
+
+	// One invalid record rejects the whole batch server-side.
+	bad := []Record{{Experiment: "batch", Run: 4, Time: time.Now()}, {Run: 5}}
+	if _, err := c.IngestBatch(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if store.Len() != 3 {
+		t.Fatalf("partial batch ingested: %d", store.Len())
+	}
+	if ids, err := c.IngestBatch(nil); err != nil || ids != nil {
+		t.Fatalf("empty batch: %v, %v", ids, err)
+	}
+}
+
+func TestHTTPSearchPagination(t *testing.T) {
+	c, _ := newPortalFixture(t)
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	var recs []Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{Experiment: "pg", Run: i, Time: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	if _, err := c.IngestBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	var runs []int
+	q := Query{Experiment: "pg", Limit: 4}
+	pages := 0
+	for {
+		page, err := c.SearchPage(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, r := range page.Records {
+			runs = append(runs, r.Run)
+		}
+		if page.Next == "" {
+			break
+		}
+		q.Cursor = page.Next
+	}
+	if pages != 3 || len(runs) != 10 {
+		t.Fatalf("pages=%d runs=%v", pages, runs)
+	}
+	for i, run := range runs {
+		if run != i {
+			t.Fatalf("pagination out of order over HTTP: %v", runs)
+		}
+	}
+
+	// Time-window filters travel as RFC 3339 params.
+	page, err := c.SearchPage(Query{Experiment: "pg", After: t0.Add(2 * time.Minute), Before: t0.Add(5 * time.Minute)})
+	if err != nil || len(page.Records) != 3 {
+		t.Fatalf("window page = %+v, %v", page, err)
+	}
+
+	// Sub-second bounds must survive the wire: a window cutting between
+	// records 300ms and 700ms into the same second selects exactly one.
+	sub := []Record{
+		{Experiment: "subsec", Run: 1, Time: t0.Add(300 * time.Millisecond)},
+		{Experiment: "subsec", Run: 2, Time: t0.Add(700 * time.Millisecond)},
+	}
+	if _, err := c.IngestBatch(sub); err != nil {
+		t.Fatal(err)
+	}
+	page, err = c.SearchPage(Query{Experiment: "subsec", After: t0.Add(500 * time.Millisecond)})
+	if err != nil || len(page.Records) != 1 || page.Records[0].Run != 2 {
+		t.Fatalf("sub-second window = %+v, %v", page, err)
+	}
+
+	// A malformed cursor is a client error, not a silent empty page.
+	if _, err := c.SearchPage(Query{Experiment: "pg", Cursor: "!!!"}); err == nil {
+		t.Fatal("bad cursor accepted over HTTP")
+	}
+}
+
 func TestHTTPErrors(t *testing.T) {
 	c, _ := newPortalFixture(t)
 	if _, err := c.Ingest(Record{}); err == nil {

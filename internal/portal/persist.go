@@ -1,0 +1,265 @@
+package portal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// On-disk layout under the data directory:
+//
+//	<dir>/segments/seg-000001.jsonl   append-only record log, one JSON
+//	                                  object per line, rotated by size
+//	<dir>/blobs/b-00000042.bin        attachment bodies, one file each,
+//	                                  referenced by name from segment lines
+//
+// A record becomes durable when its segment line is fully written; its
+// blobs are written first, so a line never references a missing blob. On
+// OpenStore the segments are replayed oldest-first; a torn final line (the
+// process died mid-append) is truncated away and everything before it is
+// restored, indexes and summary cache included.
+
+const (
+	segmentDirName = "segments"
+	blobDirName    = "blobs"
+)
+
+// maxSegmentBytes rotates the log so no single replay parse or truncation
+// repair has to handle an unbounded file. A variable so rotation tests can
+// shrink it.
+var maxSegmentBytes int64 = 4 << 20
+
+// segRecord is the persisted form of one record: Fields inline, attachment
+// bodies replaced by blob references.
+type segRecord struct {
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment"`
+	Run        int                `json:"run,omitempty"`
+	Time       time.Time          `json:"time"`
+	Fields     map[string]any     `json:"fields,omitempty"`
+	Blobs      map[string]blobRef `json:"blobs,omitempty"`
+}
+
+// blobRef locates one attachment's body in the blob directory.
+type blobRef struct {
+	File string `json:"file"`
+	Size int    `json:"size"`
+}
+
+// segmentLog is the append side of the persistence layer.
+type segmentLog struct {
+	dir    string // data dir root
+	f      *os.File
+	w      *bufio.Writer
+	size   int64
+	segSeq int // current segment number (1-based)
+	blob   int // last blob number issued
+}
+
+func segmentPath(dir string, seq int) string {
+	return filepath.Join(dir, segmentDirName, fmt.Sprintf("seg-%06d.jsonl", seq))
+}
+
+// OpenStore opens (creating if needed) a durable store rooted at dir,
+// replaying its segment log into fresh in-memory indexes. A torn final
+// record left by a crash mid-append is dropped and truncated away; any
+// other corruption is reported as an error rather than silently skipped.
+// The caller owns the returned store and should Close it to flush the log.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{segmentDirName, blobDirName} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("portal: open store: %w", err)
+		}
+	}
+	names, err := filepath.Glob(filepath.Join(dir, segmentDirName, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("portal: open store: %w", err)
+	}
+	sort.Strings(names)
+
+	s := NewStore()
+	log := &segmentLog{dir: dir, segSeq: 1}
+	for i, name := range names {
+		if err := s.replaySegment(log, name, i == len(names)-1); err != nil {
+			return nil, err
+		}
+	}
+	if len(names) > 0 {
+		last := names[len(names)-1]
+		if _, err := fmt.Sscanf(filepath.Base(last), "seg-%06d.jsonl", &log.segSeq); err != nil {
+			return nil, fmt.Errorf("portal: unrecognized segment name %q", last)
+		}
+	}
+	f, err := os.OpenFile(segmentPath(dir, log.segSeq), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("portal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("portal: open segment: %w", err)
+	}
+	log.f, log.w, log.size = f, bufio.NewWriter(f), st.Size()
+	// A crash can tear exactly at the line/newline boundary: the final
+	// record's JSON is complete (replay kept it) but its '\n' never landed.
+	// Repair the boundary now, or the next append would concatenate onto
+	// that line and a later replay would reject or drop both records.
+	if log.size > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, log.size-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("portal: open segment: %w", err)
+		}
+		if tail[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("portal: repair segment boundary: %w", err)
+			}
+			log.size++
+		}
+	}
+	s.log = log
+	return s, nil
+}
+
+// replaySegment loads one segment file into the store. last marks the final
+// segment, the only place a torn tail line is legal: it is truncated off so
+// subsequent appends start on a clean line boundary.
+func (s *Store) replaySegment(log *segmentLog, name string, last bool) error {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("portal: replay %s: %w", filepath.Base(name), err)
+	}
+	offset := int64(0)
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		var sr segRecord
+		if err := json.Unmarshal(line, &sr); err != nil || sr.Experiment == "" {
+			if last && len(data) == 0 {
+				// Torn tail: the process died mid-append. Drop the record
+				// and truncate so the log ends on a clean line boundary.
+				if terr := os.Truncate(name, offset); terr != nil {
+					return fmt.Errorf("portal: truncate torn tail of %s: %w", filepath.Base(name), terr)
+				}
+				return nil
+			}
+			return fmt.Errorf("portal: corrupt record in %s at offset %d", filepath.Base(name), offset)
+		}
+		if _, dup := s.byID[sr.ID]; dup {
+			return fmt.Errorf("portal: duplicate record id %q in %s", sr.ID, filepath.Base(name))
+		}
+		rec := Record{ID: sr.ID, Experiment: sr.Experiment, Run: sr.Run, Time: sr.Time, Fields: sr.Fields}
+		if len(sr.Blobs) > 0 {
+			rec.sizes = make(map[string]int, len(sr.Blobs))
+			for bname, ref := range sr.Blobs {
+				rec.sizes[bname] = ref.Size
+				var n int
+				if _, err := fmt.Sscanf(ref.File, "b-%d.bin", &n); err == nil && n > log.blob {
+					log.blob = n
+				}
+			}
+		}
+		var seq int
+		if _, err := fmt.Sscanf(sr.ID, "rec-%d", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+		s.insertLocked(rec, sr.Blobs)
+		offset += int64(len(line)) + 1
+	}
+	return nil
+}
+
+// writeBlobs persists one record's attachments, returning their references.
+// Callers hold the store lock, which serializes blob numbering.
+func (l *segmentLog) writeBlobs(files map[string][]byte) (map[string]blobRef, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	refs := make(map[string]blobRef, len(files))
+	// Deterministic blob numbering for a record's attachments.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l.blob++
+		file := fmt.Sprintf("b-%08d.bin", l.blob)
+		if err := os.WriteFile(filepath.Join(l.dir, blobDirName, file), files[name], 0o644); err != nil {
+			return nil, fmt.Errorf("portal: write blob: %w", err)
+		}
+		refs[name] = blobRef{File: file, Size: len(files[name])}
+	}
+	return refs, nil
+}
+
+// readBlobs loads a record's attachment bodies.
+func (l *segmentLog) readBlobs(refs map[string]blobRef) (map[string][]byte, error) {
+	files := make(map[string][]byte, len(refs))
+	for name, ref := range refs {
+		data, err := os.ReadFile(filepath.Join(l.dir, blobDirName, ref.File))
+		if err != nil {
+			return nil, fmt.Errorf("load attachment %q: %w", name, err)
+		}
+		files[name] = data
+	}
+	return files, nil
+}
+
+// appendRecords writes one line per record and flushes once, rotating to a
+// fresh segment when the current one is full. Callers hold the store lock.
+func (l *segmentLog) appendRecords(recs []Record, blobs []map[string]blobRef) error {
+	for i, rec := range recs {
+		sr := segRecord{ID: rec.ID, Experiment: rec.Experiment, Run: rec.Run, Time: rec.Time,
+			Fields: rec.Fields, Blobs: blobs[i]}
+		line, err := json.Marshal(sr)
+		if err != nil {
+			return fmt.Errorf("portal: encode record %s: %w", rec.ID, err)
+		}
+		line = append(line, '\n')
+		if _, err := l.w.Write(line); err != nil {
+			return fmt.Errorf("portal: append record %s: %w", rec.ID, err)
+		}
+		l.size += int64(len(line))
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("portal: flush segment: %w", err)
+	}
+	if l.size >= maxSegmentBytes {
+		return l.rotate()
+	}
+	return nil
+}
+
+// rotate closes the current segment and starts the next one.
+func (l *segmentLog) rotate() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("portal: close segment: %w", err)
+	}
+	l.segSeq++
+	f, err := os.OpenFile(segmentPath(l.dir, l.segSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("portal: rotate segment: %w", err)
+	}
+	l.f, l.w, l.size = f, bufio.NewWriter(f), 0
+	return nil
+}
+
+// close flushes and closes the log.
+func (l *segmentLog) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("portal: flush segment: %w", err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,353 @@
+package portal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// diskRecords builds a deterministic workload used by the durability tests.
+func diskRecords(n int) []Record {
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Experiment: fmt.Sprintf("exp-%d", i%3),
+			Run:        i,
+			Time:       t0.Add(time.Duration(i) * time.Minute),
+			Fields:     map[string]any{"samples": 5, "best_score": float64(100 - i)},
+			Files:      map[string][]byte{"plate.png": []byte(fmt.Sprintf("png-%d", i))},
+		}
+	}
+	return recs
+}
+
+// lastSegment returns the path of the newest segment file under dir.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, segmentDirName, "seg-*.jsonl"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return names[len(names)-1]
+}
+
+// assertMatchesFresh asserts the reopened store serves exactly the same
+// records, ordering, and summaries as a fresh in-memory store re-ingesting
+// the same data — i.e. replay rebuilt indexes and summary cache faithfully.
+func assertMatchesFresh(t *testing.T, reopened *Store, want []Record) {
+	t.Helper()
+	fresh := NewStore()
+	for _, r := range want {
+		if _, err := fresh.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reopened.Len() != fresh.Len() {
+		t.Fatalf("reopened Len = %d, fresh = %d", reopened.Len(), fresh.Len())
+	}
+	got := reopened.Search(Query{})
+	ref := fresh.Search(Query{})
+	for i := range ref {
+		if got[i].ID != ref[i].ID || got[i].Run != ref[i].Run || !got[i].Time.Equal(ref[i].Time) {
+			t.Fatalf("record %d: reopened %+v vs fresh %+v", i, got[i], ref[i])
+		}
+		gs, fs := got[i].FileSizes(), ref[i].FileSizes()
+		if len(gs) != len(fs) || gs["plate.png"] != fs["plate.png"] {
+			t.Fatalf("record %d sizes: %v vs %v", i, gs, fs)
+		}
+	}
+	exps := reopened.Experiments()
+	if len(exps) != len(fresh.Experiments()) {
+		t.Fatalf("experiments: %v vs %v", exps, fresh.Experiments())
+	}
+	for _, exp := range exps {
+		a, err1 := reopened.Summarize(exp)
+		b, err2 := fresh.Summarize(exp)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("summary %s: %+v (%v) vs %+v (%v)", exp, a, err1, b, err2)
+		}
+	}
+}
+
+func TestOpenStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(7)
+	var ids []string
+	for _, r := range recs {
+		id, err := s.Ingest(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Attachments are load-on-demand even before the restart.
+	got, err := s.Get(ids[3])
+	if err != nil || string(got.Files["plate.png"]) != "png-3" {
+		t.Fatalf("pre-restart Get = %+v, %v", got, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(recs[0]); err == nil {
+		t.Fatal("closed store accepted a record")
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	assertMatchesFresh(t, reopened, recs)
+	got, err = reopened.Get(ids[5])
+	if err != nil || string(got.Files["plate.png"]) != "png-5" {
+		t.Fatalf("post-restart Get = %+v, %v", got, err)
+	}
+	// The reopened store keeps accepting: IDs must not collide with the
+	// replayed sequence.
+	id, err := reopened.Ingest(Record{Experiment: "exp-0", Run: 99, Time: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if id == old {
+			t.Fatalf("post-restart id %s collides", id)
+		}
+	}
+}
+
+// TestCrashRecoveryTornTail simulates dying mid-append: the segment ends in
+// half a record. Replay must drop exactly that record, keep everything
+// before it, and leave the log clean for further appends.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(6)
+	for _, r := range recs {
+		if _, err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the tail: cut the final record's line in half.
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.TrimRight(string(data), "\n")
+	lastNL := strings.LastIndexByte(trimmed, '\n')
+	torn := data[:lastNL+1+(len(trimmed)-lastNL)/2]
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("replay with torn tail: %v", err)
+	}
+	// Only the torn final record is gone; the rest matches a fresh scan.
+	assertMatchesFresh(t, reopened, recs[:5])
+	// The torn bytes were truncated away: appending and reopening again
+	// must not resurrect garbage.
+	if _, err := reopened.Ingest(Record{Experiment: "exp-0", Run: 50, Time: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	reopened.Close()
+	again, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 6 {
+		t.Fatalf("after repair Len = %d, want 6", again.Len())
+	}
+}
+
+// TestCrashRecoveryMissingFinalNewline covers the boundary tear: the final
+// record's JSON landed in full but its '\n' did not. Replay keeps the
+// record, and OpenStore repairs the boundary so the next append starts a
+// fresh line instead of concatenating onto (and later destroying) an
+// acknowledged record.
+func TestCrashRecoveryMissingFinalNewline(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(3)
+	for _, r := range recs {
+		if _, err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	if err := os.WriteFile(seg, data[:len(data)-1], 0o644); err != nil { // strip only the '\n'
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 3 records survive — the tear lost no data.
+	assertMatchesFresh(t, reopened, recs)
+	// Appending after the repair must not merge lines.
+	if _, err := reopened.Ingest(Record{Experiment: "exp-0", Run: 77, Time: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	reopened.Close()
+	again, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("replay after boundary repair: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 4 {
+		t.Fatalf("after repair Len = %d, want 4", again.Len())
+	}
+}
+
+// TestCrashRecoveryMidBatch tears a multi-record batch: the durable prefix
+// of the batch survives, only the torn last line drops.
+func TestCrashRecoveryMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(5)
+	if _, err := s.IngestBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	// Cut 7 bytes into the final line's JSON (strip trailing newline, then
+	// a bit of the record itself).
+	if err := os.WriteFile(seg, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	assertMatchesFresh(t, reopened, recs[:4])
+}
+
+// TestReplayRejectsMidLogCorruption: a corrupt record that is NOT the tail
+// is real damage, not a torn append, and must fail loudly instead of being
+// skipped.
+func TestReplayRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	for _, r := range diskRecords(4) {
+		s.Ingest(r)
+	}
+	s.Close()
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "{\"broken\": \n"
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("mid-log corruption replayed silently")
+	}
+}
+
+// TestSegmentRotation shrinks the rotation threshold so a small workload
+// spans several segment files, and checks replay stitches them back.
+func TestSegmentRotation(t *testing.T) {
+	old := maxSegmentBytes
+	maxSegmentBytes = 256
+	defer func() { maxSegmentBytes = old }()
+
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(12)
+	for _, r := range recs {
+		if _, err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segmentDirName, "seg-*.jsonl"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", len(segs))
+	}
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	assertMatchesFresh(t, reopened, recs)
+}
+
+// TestDiskStoreConcurrentIngestAndSearch runs the -race workout against the
+// disk-backed store: writers appending to the log while readers page and
+// summarize.
+func TestDiskStoreConcurrentIngestAndSearch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rec := Record{
+					Experiment: "disk",
+					Run:        w,
+					Time:       t0.Add(time.Duration(w*50+j) * time.Second),
+					Files:      map[string][]byte{"plate.png": {byte(j)}},
+				}
+				if _, err := s.Ingest(rec); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Search(Query{Experiment: "disk", Limit: 8})
+				s.Summarize("disk")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Close()
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 200 {
+		t.Fatalf("replayed Len = %d", reopened.Len())
+	}
+	sum, err := reopened.Summarize("disk")
+	if err != nil || sum.Records != 200 || sum.Images != 200 || sum.Runs != 4 {
+		t.Fatalf("summary = %+v, %v", sum, err)
+	}
+}

@@ -1,9 +1,3 @@
-// Package portal reimplements the role of the ALCF Community Data Co-Op
-// (ACDC) portal in the paper's pipeline: a searchable store that the
-// color-picker application publishes each run's data to — "the colors
-// produced, the timing of each step, the scoring results from the solver,
-// and the raw plate images for quality control" — with the summary and
-// per-run detail views shown in the paper's Figure 3.
 package portal
 
 import (
@@ -24,12 +18,25 @@ type Record struct {
 	Time       time.Time      `json:"time"`
 	Fields     map[string]any `json:"fields,omitempty"`
 	// Files holds named binary attachments (e.g. the raw plate image).
-	// Search results report only their sizes.
+	// Search results report only their sizes; for disk-backed stores the
+	// bytes live in blob files and are loaded by Store.Get on demand.
 	Files map[string][]byte `json:"-"`
+	// sizes carries attachment sizes when the bytes themselves are not
+	// loaded (disk-backed search results); FileSizes prefers Files.
+	sizes map[string]int
 }
 
-// FileSizes summarizes attachments for display.
+// FileSizes summarizes attachments for display. It works for records whose
+// attachment bytes are not loaded (disk-backed search results) as well as
+// for fully materialized records.
 func (r Record) FileSizes() map[string]int {
+	if len(r.Files) == 0 && r.sizes != nil {
+		out := make(map[string]int, len(r.sizes))
+		for name, n := range r.sizes {
+			out[name] = n
+		}
+		return out
+	}
 	out := make(map[string]int, len(r.Files))
 	for name, data := range r.Files {
 		out[name] = len(data)
@@ -37,111 +44,218 @@ func (r Record) FileSizes() map[string]int {
 	return out
 }
 
-// Ingestor accepts published records; both the in-process Store and the
-// HTTP client implement it, so the publish flow is transport-agnostic.
+// Ingestor accepts published records; the in-process Store, the HTTP
+// client, and the batching Buffer all implement it, so the publish flow is
+// transport-agnostic.
 type Ingestor interface {
 	Ingest(rec Record) (id string, err error)
+}
+
+// BatchIngestor accepts many records at once: one lock acquisition on the
+// store, one round-trip over HTTP. The whole batch is validated before any
+// record is accepted, so a rejected batch leaves the destination unchanged.
+type BatchIngestor interface {
+	Ingestor
+	IngestBatch(recs []Record) (ids []string, err error)
 }
 
 // ErrNotFound reports a lookup of a nonexistent record.
 var ErrNotFound = errors.New("portal: record not found")
 
-// Store is the in-memory searchable record store.
-type Store struct {
-	mu      sync.RWMutex
-	records []Record
-	byID    map[string]int
-	seq     int
+// entry is one stored record plus, for disk-backed stores, the blob
+// references resolving its attachments.
+type entry struct {
+	rec   Record
+	blobs map[string]blobRef
 }
 
-// NewStore returns an empty store.
+// Store is the searchable record store. Reads are served from in-memory
+// indexes kept sorted by (record time, ingest order): a per-experiment
+// record list, a global time-ordered list, and a cache of per-experiment
+// summaries invalidated on ingest. A store built with OpenStore is
+// additionally backed by an append-only segment log that makes every
+// accepted record durable.
+type Store struct {
+	mu      sync.RWMutex
+	entries []entry
+	byID    map[string]int
+	byExp   map[string][]int // slots sorted by (Time, slot)
+	byTime  []int            // all slots sorted by (Time, slot)
+	sums    map[string]Summary
+	seq     int
+	log     *segmentLog // nil for the in-memory store
+}
+
+// NewStore returns an empty in-memory store.
 func NewStore() *Store {
-	return &Store{byID: make(map[string]int)}
+	return &Store{
+		byID:  make(map[string]int),
+		byExp: make(map[string][]int),
+		sums:  make(map[string]Summary),
+	}
+}
+
+// Close flushes and closes the store's segment log. It is a no-op for
+// in-memory stores. Records ingested after Close are rejected.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.close()
+	s.log = nil
+	s.seq = -1 // poison: further ingests must not silently go memory-only
+	return err
 }
 
 // Ingest implements Ingestor, assigning an ID when absent.
 func (s *Store) Ingest(rec Record) (string, error) {
-	if rec.Experiment == "" {
-		return "", fmt.Errorf("portal: record missing experiment name")
+	ids, err := s.IngestBatch([]Record{rec})
+	if err != nil {
+		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec.ID == "" {
-		s.seq++
-		rec.ID = fmt.Sprintf("rec-%06d", s.seq)
-	}
-	if _, dup := s.byID[rec.ID]; dup {
-		return "", fmt.Errorf("portal: duplicate record id %q", rec.ID)
-	}
-	s.byID[rec.ID] = len(s.records)
-	s.records = append(s.records, rec)
-	return rec.ID, nil
+	return ids[0], nil
 }
 
-// Get returns the record with the given ID.
+// IngestBatch implements BatchIngestor: validate every record, then accept
+// them all under one lock acquisition (and one segment-log flush for
+// disk-backed stores). On error no record is ingested and the caller's
+// records are untouched — in particular no provisional IDs are assigned,
+// so a Buffer retrying a failed flush presents the same batch again.
+func (s *Store) IngestBatch(recs []Record) ([]string, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	// Work on a copy: ID assignment must not leak into the caller's slice
+	// until the batch is actually committed.
+	recs = append([]Record(nil), recs...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq < 0 {
+		return nil, fmt.Errorf("portal: store is closed")
+	}
+	// Validate and assign IDs before touching any state, so a bad record
+	// anywhere in the batch rejects the whole batch cleanly.
+	seq := s.seq
+	seen := make(map[string]bool, len(recs))
+	for i := range recs {
+		if recs[i].Experiment == "" {
+			return nil, fmt.Errorf("portal: record %d missing experiment name", i)
+		}
+		if recs[i].ID == "" {
+			seq++
+			recs[i].ID = fmt.Sprintf("rec-%06d", seq)
+		}
+		if _, dup := s.byID[recs[i].ID]; dup || seen[recs[i].ID] {
+			return nil, fmt.Errorf("portal: duplicate record id %q", recs[i].ID)
+		}
+		seen[recs[i].ID] = true
+	}
+	blobs := make([]map[string]blobRef, len(recs))
+	if s.log != nil {
+		// Durability: blobs first, then the segment lines referencing them.
+		// A crash in between leaves at worst orphaned blob files and a torn
+		// final line, both of which replay discards.
+		for i := range recs {
+			refs, err := s.log.writeBlobs(recs[i].Files)
+			if err != nil {
+				return nil, err
+			}
+			blobs[i] = refs
+		}
+		if err := s.log.appendRecords(recs, blobs); err != nil {
+			return nil, err
+		}
+	}
+	s.seq = seq
+	ids := make([]string, len(recs))
+	for i := range recs {
+		ids[i] = recs[i].ID
+		rec := recs[i]
+		if blobs[i] != nil {
+			// The log owns the attachment bytes now; keep only the sizes.
+			rec.sizes = make(map[string]int, len(blobs[i]))
+			for name, ref := range blobs[i] {
+				rec.sizes[name] = ref.Size
+			}
+			rec.Files = nil
+		}
+		s.insertLocked(rec, blobs[i])
+	}
+	return ids, nil
+}
+
+// insertLocked adds one validated record to every index. Callers hold mu.
+func (s *Store) insertLocked(rec Record, blobs map[string]blobRef) {
+	slot := len(s.entries)
+	s.entries = append(s.entries, entry{rec: rec, blobs: blobs})
+	s.byID[rec.ID] = slot
+	s.byTime = s.insertSorted(s.byTime, slot)
+	s.byExp[rec.Experiment] = s.insertSorted(s.byExp[rec.Experiment], slot)
+	delete(s.sums, rec.Experiment)
+}
+
+// before orders two slots by (record time, ingest order): the sort key of
+// every index and of search results.
+func (s *Store) before(a, b int) bool {
+	ta, tb := s.entries[a].rec.Time, s.entries[b].rec.Time
+	if !ta.Equal(tb) {
+		return ta.Before(tb)
+	}
+	return a < b
+}
+
+// insertSorted places slot into a (Time, slot)-sorted index. Records
+// arriving in time order append in O(1); out-of-order arrivals pay one
+// memmove.
+func (s *Store) insertSorted(idx []int, slot int) []int {
+	i := sort.Search(len(idx), func(i int) bool { return s.before(slot, idx[i]) })
+	idx = append(idx, 0)
+	copy(idx[i+1:], idx[i:])
+	idx[i] = slot
+	return idx
+}
+
+// Get returns the record with the given ID, loading its attachments from
+// blob storage for disk-backed stores.
 func (s *Store) Get(id string) (Record, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i, ok := s.byID[id]
+	slot, ok := s.byID[id]
 	if !ok {
+		s.mu.RUnlock()
 		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	return s.records[i], nil
+	e := s.entries[slot]
+	log := s.log
+	s.mu.RUnlock()
+	if len(e.blobs) == 0 || log == nil {
+		return e.rec, nil
+	}
+	// Blob files are immutable once their segment line is visible, so the
+	// load can run outside the lock.
+	files, err := log.readBlobs(e.blobs)
+	if err != nil {
+		return Record{}, fmt.Errorf("portal: record %s: %w", id, err)
+	}
+	rec := e.rec
+	rec.Files = files
+	return rec, nil
 }
 
 // Len returns the number of records stored.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.records)
-}
-
-// Query filters records. Zero values mean "any".
-type Query struct {
-	Experiment string
-	Run        int  // match a specific run number; 0 = any
-	HasRun     bool // set true to filter by Run (Run 0 is legal)
-	After      time.Time
-	Before     time.Time
-	Limit      int
-}
-
-// Search returns matching records, oldest first.
-func (s *Store) Search(q Query) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []Record
-	for _, r := range s.records {
-		if q.Experiment != "" && r.Experiment != q.Experiment {
-			continue
-		}
-		if q.HasRun && r.Run != q.Run {
-			continue
-		}
-		if !q.After.IsZero() && r.Time.Before(q.After) {
-			continue
-		}
-		if !q.Before.IsZero() && !r.Time.Before(q.Before) {
-			continue
-		}
-		out = append(out, r)
-		if q.Limit > 0 && len(out) >= q.Limit {
-			break
-		}
-	}
-	return out
+	return len(s.entries)
 }
 
 // Experiments lists distinct experiment names, sorted.
 func (s *Store) Experiments() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := map[string]bool{}
-	for _, r := range s.records {
-		set[r.Experiment] = true
-	}
-	out := make([]string, 0, len(set))
-	for name := range set {
+	out := make([]string, 0, len(s.byExp))
+	for name := range s.byExp {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -162,22 +276,45 @@ type Summary struct {
 	Last       time.Time `json:"last"`
 }
 
-// Summarize builds the summary view of one experiment.
+// Summarize builds the summary view of one experiment. Summaries are cached
+// per experiment and recomputed only after that experiment ingests a new
+// record, so the portal's hot index page stops re-scanning every record on
+// every request.
 func (s *Store) Summarize(experiment string) (Summary, error) {
-	recs := s.Search(Query{Experiment: experiment})
-	if len(recs) == 0 {
+	s.mu.RLock()
+	sum, ok := s.sums[experiment]
+	s.mu.RUnlock()
+	if ok {
+		return sum, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sum, ok := s.sums[experiment]; ok {
+		return sum, nil
+	}
+	slots := s.byExp[experiment]
+	if len(slots) == 0 {
 		return Summary{}, fmt.Errorf("%w: experiment %q", ErrNotFound, experiment)
 	}
-	sum := Summary{Experiment: experiment, Records: len(recs), BestScore: -1}
+	sum = s.summarizeLocked(experiment, slots)
+	s.sums[experiment] = sum
+	return sum, nil
+}
+
+// summarizeLocked computes one experiment's summary from its sorted index.
+func (s *Store) summarizeLocked(experiment string, slots []int) Summary {
+	sum := Summary{
+		Experiment: experiment,
+		Records:    len(slots),
+		BestScore:  -1,
+		// slots is time-ordered, so the window is its endpoints.
+		First: s.entries[slots[0]].rec.Time,
+		Last:  s.entries[slots[len(slots)-1]].rec.Time,
+	}
 	runs := map[int]bool{}
-	for _, r := range recs {
+	for _, slot := range slots {
+		r := s.entries[slot].rec
 		runs[r.Run] = true
-		if sum.First.IsZero() || r.Time.Before(sum.First) {
-			sum.First = r.Time
-		}
-		if r.Time.After(sum.Last) {
-			sum.Last = r.Time
-		}
 		if n, ok := numField(r.Fields, "samples"); ok {
 			sum.Samples += int(n)
 		}
@@ -186,14 +323,14 @@ func (s *Store) Summarize(experiment string) (Summary, error) {
 				sum.BestScore = b
 			}
 		}
-		for name := range r.Files {
+		for name := range r.FileSizes() {
 			if strings.HasSuffix(name, ".png") {
 				sum.Images++
 			}
 		}
 	}
 	sum.Runs = len(runs)
-	return sum, nil
+	return sum
 }
 
 func numField(fields map[string]any, key string) (float64, bool) {

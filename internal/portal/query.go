@@ -1,0 +1,173 @@
+package portal
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Query filters records. Zero values mean "any".
+type Query struct {
+	Experiment string
+	Run        int  // match a specific run number; 0 = any
+	HasRun     bool // set true to filter by Run (Run 0 is legal)
+	After      time.Time
+	Before     time.Time
+	// Limit bounds the page size; results are always ordered oldest-first
+	// before the limit applies.
+	Limit int
+	// Cursor resumes a paginated listing from where a previous SearchPage
+	// stopped (Page.Next). Empty starts from the beginning.
+	Cursor string
+}
+
+// Page is one bounded slice of search results.
+type Page struct {
+	Records []Record
+	// Next is the opaque cursor resuming the listing after the last record
+	// of this page; empty when the listing is exhausted. A non-empty Next
+	// can still yield an empty final page when the remaining candidates are
+	// eliminated by the Run filter.
+	Next string
+}
+
+// cursorKey is the decoded resume position: strictly after the record with
+// this (time, ingest slot) sort key.
+type cursorKey struct {
+	nanos int64
+	slot  int
+}
+
+// encodeCursor packs a sort key into the opaque wire form.
+func encodeCursor(t time.Time, slot int) string {
+	raw := strconv.FormatInt(t.UnixNano(), 10) + "|" + strconv.Itoa(slot)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor unpacks a cursor produced by encodeCursor.
+func decodeCursor(s string) (cursorKey, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursorKey{}, fmt.Errorf("portal: bad cursor: %w", err)
+	}
+	t, slotStr, ok := strings.Cut(string(raw), "|")
+	if !ok {
+		return cursorKey{}, fmt.Errorf("portal: bad cursor %q", s)
+	}
+	nanos, err1 := strconv.ParseInt(t, 10, 64)
+	slot, err2 := strconv.Atoi(slotStr)
+	if err1 != nil || err2 != nil {
+		return cursorKey{}, fmt.Errorf("portal: bad cursor %q", s)
+	}
+	return cursorKey{nanos: nanos, slot: slot}, nil
+}
+
+// Search returns matching records, oldest first. Limit truncates after
+// ordering, so a limited search returns the earliest matches even when
+// records were ingested out of time order. For paginated access use
+// SearchPage; Search ignores Query.Cursor errors and simply returns nil on
+// a malformed cursor.
+func (s *Store) Search(q Query) []Record {
+	page, err := s.SearchPage(q)
+	if err != nil {
+		return nil
+	}
+	return page.Records
+}
+
+// SearchPage answers q from the store's sorted indexes: the per-experiment
+// index when q.Experiment is set, the global time index otherwise. Time
+// bounds and the resume cursor are located by binary search, so a page
+// costs O(log n + page) instead of a full scan.
+func (s *Store) SearchPage(q Query) (Page, error) {
+	var cur cursorKey
+	hasCur := false
+	if q.Cursor != "" {
+		var err error
+		if cur, err = decodeCursor(q.Cursor); err != nil {
+			return Page{}, err
+		}
+		hasCur = true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	idx := s.byTime
+	if q.Experiment != "" {
+		idx = s.byExp[q.Experiment]
+	}
+	lo, hi := 0, len(idx)
+	if !q.After.IsZero() {
+		lo = sort.Search(len(idx), func(i int) bool {
+			return !s.entries[idx[i]].rec.Time.Before(q.After)
+		})
+	}
+	if !q.Before.IsZero() {
+		hi = sort.Search(len(idx), func(i int) bool {
+			return !s.entries[idx[i]].rec.Time.Before(q.Before)
+		})
+	}
+	if hasCur {
+		from := sort.Search(len(idx), func(i int) bool {
+			slot := idx[i]
+			nanos := s.entries[slot].rec.Time.UnixNano()
+			return nanos > cur.nanos || (nanos == cur.nanos && slot > cur.slot)
+		})
+		if from > lo {
+			lo = from
+		}
+	}
+
+	var page Page
+	for i := lo; i < hi; i++ {
+		r := s.entries[idx[i]].rec
+		if q.HasRun && r.Run != q.Run {
+			continue
+		}
+		page.Records = append(page.Records, r)
+		if q.Limit > 0 && len(page.Records) >= q.Limit {
+			if i+1 < hi {
+				page.Next = encodeCursor(r.Time, idx[i])
+			}
+			break
+		}
+	}
+	return page, nil
+}
+
+// searchScan is the pre-index linear path — filter every record, sort, then
+// truncate — kept as the correctness reference and the baseline that
+// BenchmarkPortalSearch compares the indexes against.
+func (s *Store) searchScan(q Query) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var slots []int
+	for slot := range s.entries {
+		r := s.entries[slot].rec
+		if q.Experiment != "" && r.Experiment != q.Experiment {
+			continue
+		}
+		if q.HasRun && r.Run != q.Run {
+			continue
+		}
+		if !q.After.IsZero() && r.Time.Before(q.After) {
+			continue
+		}
+		if !q.Before.IsZero() && !r.Time.Before(q.Before) {
+			continue
+		}
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return s.before(slots[i], slots[j]) })
+	if q.Limit > 0 && len(slots) > q.Limit {
+		slots = slots[:q.Limit]
+	}
+	out := make([]Record, len(slots))
+	for i, slot := range slots {
+		out[i] = s.entries[slot].rec
+	}
+	return out
+}

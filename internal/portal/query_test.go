@@ -1,0 +1,281 @@
+package portal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSearchLimitAppliesAfterTimeOrdering is the regression test for the
+// pre-index bug: Search walked records in ingest order and truncated at
+// Limit before any time ordering, so out-of-order ingest (concurrent
+// campaigns on different virtual clocks) returned the first-ingested
+// records instead of the earliest ones.
+func TestSearchLimitAppliesAfterTimeOrdering(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	// Ingest newest-first: ingest order is the reverse of time order.
+	for i := 9; i >= 0; i-- {
+		s.Ingest(rec("e", i, t0.Add(time.Duration(i)*time.Minute), nil))
+	}
+	got := s.Search(Query{Experiment: "e", Limit: 3})
+	if len(got) != 3 {
+		t.Fatalf("limit: %d records", len(got))
+	}
+	for i, r := range got {
+		if r.Run != i {
+			t.Fatalf("record %d is run %d; want the %d earliest runs, got %+v", i, r.Run, 3, got)
+		}
+	}
+	// The linear-scan reference path must agree with the indexed path.
+	scan := s.searchScan(Query{Experiment: "e", Limit: 3})
+	if len(scan) != 3 || scan[0].Run != 0 || scan[2].Run != 2 {
+		t.Fatalf("scan reference disagrees: %+v", scan)
+	}
+}
+
+func TestSearchPagePagination(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		s.Ingest(rec("page", i, t0.Add(time.Duration(i)*time.Minute), nil))
+	}
+	var runs []int
+	cursor := ""
+	pages := 0
+	for {
+		page, err := s.SearchPage(Query{Experiment: "page", Limit: 3, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, r := range page.Records {
+			runs = append(runs, r.Run)
+		}
+		if page.Next == "" {
+			break
+		}
+		cursor = page.Next
+	}
+	if pages != 4 || len(runs) != 10 {
+		t.Fatalf("pages=%d records=%d", pages, len(runs))
+	}
+	for i, run := range runs {
+		if run != i {
+			t.Fatalf("pagination out of order: %v", runs)
+		}
+	}
+}
+
+// TestSearchPageExactBoundary checks Limit dividing the result set exactly:
+// the final full page must report an empty Next instead of promising a
+// phantom fifth page.
+func TestSearchPageExactBoundary(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 9; i++ {
+		s.Ingest(rec("exact", i, t0.Add(time.Duration(i)*time.Minute), nil))
+	}
+	cursor, total := "", 0
+	for pages := 0; ; pages++ {
+		if pages > 3 {
+			t.Fatal("pagination did not terminate")
+		}
+		page, err := s.SearchPage(Query{Experiment: "exact", Limit: 3, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(page.Records)
+		if page.Next == "" {
+			break
+		}
+		cursor = page.Next
+	}
+	if total != 9 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestSearchPageEmptyStore(t *testing.T) {
+	s := NewStore()
+	page, err := s.SearchPage(Query{Limit: 5})
+	if err != nil || len(page.Records) != 0 || page.Next != "" {
+		t.Fatalf("empty store page = %+v, %v", page, err)
+	}
+	if got := s.Search(Query{Experiment: "none"}); len(got) != 0 {
+		t.Fatalf("empty store search = %v", got)
+	}
+}
+
+func TestSearchPageBadCursor(t *testing.T) {
+	s := NewStore()
+	s.Ingest(rec("e", 1, time.Now(), nil))
+	if _, err := s.SearchPage(Query{Cursor: "!!!not-base64!!!"}); err == nil {
+		t.Fatal("bad cursor accepted")
+	}
+	if _, err := s.SearchPage(Query{Cursor: "aGVsbG8"}); err == nil { // "hello"
+		t.Fatal("malformed cursor payload accepted")
+	}
+	if got := s.Search(Query{Cursor: "!!!"}); got != nil {
+		t.Fatalf("Search with bad cursor = %v, want nil", got)
+	}
+}
+
+// TestSearchPageRunFilter paginates under a Run filter, where a page can
+// come back empty with the listing still exhausted correctly.
+func TestSearchPageRunFilter(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		s.Ingest(rec("rf", i%2, t0.Add(time.Duration(i)*time.Minute), nil))
+	}
+	cursor, total := "", 0
+	for hops := 0; ; hops++ {
+		if hops > 25 {
+			t.Fatal("pagination did not terminate")
+		}
+		page, err := s.SearchPage(Query{Experiment: "rf", Run: 1, HasRun: true, Limit: 3, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Records {
+			if r.Run != 1 {
+				t.Fatalf("run filter leaked run %d", r.Run)
+			}
+		}
+		total += len(page.Records)
+		if page.Next == "" {
+			break
+		}
+		cursor = page.Next
+	}
+	if total != 10 {
+		t.Fatalf("run-filtered total = %d", total)
+	}
+}
+
+func TestSearchPageTimeWindowWithCursor(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 12; i++ {
+		s.Ingest(rec("tw", i, t0.Add(time.Duration(i)*time.Minute), nil))
+	}
+	q := Query{Experiment: "tw", After: t0.Add(3 * time.Minute), Before: t0.Add(9 * time.Minute), Limit: 2}
+	var runs []int
+	for {
+		page, err := s.SearchPage(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Records {
+			runs = append(runs, r.Run)
+		}
+		if page.Next == "" {
+			break
+		}
+		q.Cursor = page.Next
+	}
+	want := []int{3, 4, 5, 6, 7, 8}
+	if len(runs) != len(want) {
+		t.Fatalf("window runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("window runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+// TestIndexedSearchMatchesScan cross-checks the indexed path against the
+// linear reference on a shuffled workload across every filter combination.
+func TestIndexedSearchMatchesScan(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	// Two experiments, deliberately interleaved and time-scrambled.
+	for i := 0; i < 40; i++ {
+		exp := "x"
+		if i%3 == 0 {
+			exp = "y"
+		}
+		offset := time.Duration((i*7)%40) * time.Minute
+		s.Ingest(rec(exp, i%4, t0.Add(offset), nil))
+	}
+	queries := []Query{
+		{},
+		{Experiment: "x"},
+		{Experiment: "y", Run: 0, HasRun: true},
+		{After: t0.Add(10 * time.Minute)},
+		{Before: t0.Add(20 * time.Minute)},
+		{Experiment: "x", After: t0.Add(5 * time.Minute), Before: t0.Add(30 * time.Minute)},
+		{Experiment: "x", Limit: 7},
+		{Limit: 11},
+	}
+	for qi, q := range queries {
+		indexed := s.Search(q)
+		scan := s.searchScan(q)
+		if len(indexed) != len(scan) {
+			t.Fatalf("query %d: indexed %d records, scan %d", qi, len(indexed), len(scan))
+		}
+		for i := range indexed {
+			if indexed[i].ID != scan[i].ID {
+				t.Fatalf("query %d: order diverges at %d: %s vs %s", qi, i, indexed[i].ID, scan[i].ID)
+			}
+		}
+	}
+}
+
+// TestConcurrentIngestAndPaginatedSearch hammers the store with writers
+// while a reader walks cursor pages, under -race. The cursor contract is
+// that already-returned positions never repeat, even as new records land.
+func TestConcurrentIngestAndPaginatedSearch(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for j := 0; j < 200; j++ {
+				s.Ingest(rec("cc", w, t0.Add(time.Duration(w*200+j)*time.Second), nil))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			seen := map[string]bool{}
+			cursor := ""
+			for {
+				page, err := s.SearchPage(Query{Experiment: "cc", Limit: 16, Cursor: cursor})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, r := range page.Records {
+					if seen[r.ID] {
+						t.Errorf("cursor walk repeated record %s", r.ID)
+						return
+					}
+					seen[r.ID] = true
+				}
+				if page.Next == "" {
+					break
+				}
+				cursor = page.Next
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,10 @@
+// Package report renders experiment results as text: aligned tables and
+// ASCII step plots for reproducing the paper's figures in a terminal.
+//
+// It is the presentation layer furthest from the robots: experiments
+// produce metrics (internal/metrics), the data portal archives records
+// (internal/portal), and report turns either into something a terminal
+// session can read — [Table] for the paper's Table 1 comparisons and
+// [StepPlot] for convergence traces. Nothing here mutates state; every
+// function writes to an io.Writer it is given.
+package report

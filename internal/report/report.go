@@ -1,5 +1,3 @@
-// Package report renders experiment results as text: aligned tables and
-// ASCII step plots for reproducing the paper's figures in a terminal.
 package report
 
 import (

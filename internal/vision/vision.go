@@ -1,9 +1,3 @@
-// Package vision assembles the paper's §2.4 image-processing pipeline:
-// detect the ArUco marker, derive the approximate plate boundaries from the
-// marker's size and position, find well-sized circles with a Hough
-// transform, align a grid to the circles found, predict every well center
-// from the grid (recovering the Hough false negatives), and report the
-// detected color at each well center.
 package vision
 
 import (
