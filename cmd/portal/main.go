@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"colormatch/internal/portal"
 )
@@ -38,7 +40,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer store.Close()
+		// Close on shutdown signals. (A deferred Close would never run:
+		// ListenAndServe only returns on error and fatal os.Exits.) Every
+		// batch is fsynced at append time, so nothing is lost even on a hard
+		// kill; this just releases the segment file cleanly.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			store.Close()
+			os.Exit(0)
+		}()
 		fmt.Printf("portal: replayed %d record(s) from %s\n", store.Len(), *dataDir)
 	} else {
 		store = portal.NewStore()

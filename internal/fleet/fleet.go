@@ -107,6 +107,11 @@ type Options struct {
 	Provider WorkcellProvider
 }
 
+// flushRetryDelay is the real-time pause between failed campaign-flush
+// attempts against the portal destination. A variable so tests can shrink
+// it.
+var flushRetryDelay = 500 * time.Millisecond
+
 // Status classifies a campaign's final outcome.
 type Status string
 
@@ -146,6 +151,12 @@ type CampaignResult struct {
 	// end-of-campaign batch flush). It does not affect Status: the campaign
 	// itself still ran to its recorded outcome.
 	PublishErr error
+	// RecordIDs are the destination-assigned IDs of this campaign's
+	// published records, in publish order, when the portal destination is
+	// batch-capable and the end-of-campaign flush succeeded; nil otherwise.
+	// These are the real portal IDs — the per-record publish flow only sees
+	// the buffer's "buffered-N" placeholders for auto-ID records.
+	RecordIDs []string
 	// Result is the full experiment result of the final attempt (may be a
 	// valid partial result even for failed campaigns).
 	Result *core.Result
@@ -791,8 +802,38 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 		runner.WaitAll()
 	}
 	if buf != nil {
-		if _, ferr := buf.Flush(); ferr != nil {
+		// The batch flush replaces the publish flow's per-record ingest, so
+		// it gets the same retry budget (publishFlow's ingest Retries: 2) —
+		// one transient portal hiccup must not drop a whole campaign's
+		// records. The buffer retains them across flush attempts within this
+		// loop (it dies with the attempt if all three fail). Delivery
+		// is at-least-once, exactly like the per-record flow: if the portal
+		// committed a batch but the response was lost, the retry re-ingests
+		// it. Rejected submissions (ErrInvalid) and cancellation stop the
+		// loop early — resending those is hopeless.
+		var ids []string
+		var ferr error
+		for attempt := 0; attempt <= 2; attempt++ {
+			if ids, ferr = buf.Flush(); ferr == nil {
+				break
+			}
+			if errors.Is(ferr, portal.ErrInvalid) || ctx.Err() != nil {
+				break
+			}
+			if attempt < 2 {
+				// A real-time pause, not a virtual-clock one: the portal is
+				// an external service, and back-to-back microsecond retries
+				// cannot outlast even the briefest real outage.
+				select {
+				case <-ctx.Done():
+				case <-time.After(flushRetryDelay):
+				}
+			}
+		}
+		if ferr != nil {
 			cr.PublishErr = fmt.Errorf("fleet: flush campaign records: %w", ferr)
+		} else {
+			cr.RecordIDs = ids
 		}
 	}
 	cr.Result = result

@@ -3,8 +3,10 @@ package fleet
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"colormatch/internal/portal"
 )
@@ -138,5 +140,105 @@ func TestFleetPortalSurvivesRestart(t *testing.T) {
 	sum, err := client.Summary("fleet")
 	if err != nil || sum.Records != 1 {
 		t.Fatalf("fleet summary after restart = %+v, %v", sum, err)
+	}
+}
+
+// flakyBatchPortal is a batch-capable destination whose first failures
+// IngestBatch calls fail — a portal briefly unreachable exactly at the
+// end-of-campaign flush.
+type flakyBatchPortal struct {
+	*portal.Store
+	failures int
+	calls    int
+}
+
+func (p *flakyBatchPortal) IngestBatch(recs []portal.Record) ([]string, error) {
+	p.calls++
+	if p.calls <= p.failures {
+		return nil, errors.New("portal briefly unreachable")
+	}
+	return p.Store.IngestBatch(recs)
+}
+
+// TestFleetFlushRetriesTransientPortalFailure: the campaign-end batch flush
+// carries the same retry budget as the publish flow's per-record ingest, so
+// a transient portal fault does not drop the campaign's records — and on
+// success the destination-assigned IDs land in CampaignResult.RecordIDs.
+func TestFleetFlushRetriesTransientPortalFailure(t *testing.T) {
+	defer func(d time.Duration) { flushRetryDelay = d }(flushRetryDelay)
+	flushRetryDelay = time.Millisecond
+	dest := &flakyBatchPortal{Store: portal.NewStore(), failures: 2}
+	res, err := Run(context.Background(), quickCampaigns(1, 8), Options{
+		Workcells: 1, Seed: 7, Portal: dest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Campaigns[0]
+	if cr.PublishErr != nil {
+		t.Fatalf("transient flush failure surfaced as PublishErr: %v", cr.PublishErr)
+	}
+	if len(cr.RecordIDs) == 0 {
+		t.Fatal("no destination-assigned record IDs on the campaign result")
+	}
+	for _, id := range cr.RecordIDs {
+		if _, err := dest.Get(id); err != nil {
+			t.Fatalf("record %s not in portal: %v", id, err)
+		}
+	}
+	if got := dest.Search(portal.Query{Experiment: "fleet_" + cr.Campaign.Name}); len(got) != len(cr.RecordIDs) {
+		t.Fatalf("portal has %d campaign records, result lists %d", len(got), len(cr.RecordIDs))
+	}
+}
+
+// TestFleetFlushExhaustsRetries: a portal that stays down through every
+// flush attempt surfaces as PublishErr with no RecordIDs.
+func TestFleetFlushExhaustsRetries(t *testing.T) {
+	defer func(d time.Duration) { flushRetryDelay = d }(flushRetryDelay)
+	flushRetryDelay = time.Millisecond
+	dest := &flakyBatchPortal{Store: portal.NewStore(), failures: 1 << 20}
+	res, err := Run(context.Background(), quickCampaigns(1, 8), Options{
+		Workcells: 1, Seed: 7, Portal: dest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Campaigns[0]
+	if cr.PublishErr == nil {
+		t.Fatal("dead portal's lost records passed silently")
+	}
+	if cr.RecordIDs != nil {
+		t.Fatalf("failed flush still reported RecordIDs %v", cr.RecordIDs)
+	}
+}
+
+// invalidBatchPortal rejects every batch as an invalid submission — the
+// portal's 400, which a client maps back to portal.ErrInvalid.
+type invalidBatchPortal struct {
+	*portal.Store
+	calls int
+}
+
+func (p *invalidBatchPortal) IngestBatch([]portal.Record) ([]string, error) {
+	p.calls++
+	return nil, fmt.Errorf("%w: batch rejected", portal.ErrInvalid)
+}
+
+// TestFleetFlushDoesNotRetryInvalidBatch: a rejected submission is not a
+// transient fault — resending it is hopeless, so the flush loop must
+// surface it after one attempt instead of burning its retry budget.
+func TestFleetFlushDoesNotRetryInvalidBatch(t *testing.T) {
+	dest := &invalidBatchPortal{Store: portal.NewStore()}
+	res, err := Run(context.Background(), quickCampaigns(1, 8), Options{
+		Workcells: 1, Seed: 7, Portal: dest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaigns[0].PublishErr == nil {
+		t.Fatal("invalid batch passed silently")
+	}
+	if dest.calls != 1 {
+		t.Fatalf("invalid batch flushed %d times, want 1", dest.calls)
 	}
 }

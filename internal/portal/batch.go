@@ -12,7 +12,11 @@ import (
 //
 // Ingest on a Buffer cannot know the destination-assigned ID yet, so it
 // returns the record's own ID when set and a "buffered-N" placeholder
-// otherwise; Flush returns the real IDs in buffered order.
+// otherwise; anything that captures Ingest's ID (e.g. a publish flow's
+// ingest step) sees the placeholder, not the real ID. Flush returns the
+// destination-assigned IDs in buffered order — callers who need actionable
+// record IDs must take them from there (the fleet exposes them as
+// CampaignResult.RecordIDs).
 type Buffer struct {
 	mu   sync.Mutex
 	dest BatchIngestor
@@ -27,7 +31,7 @@ func NewBuffer(dest BatchIngestor) *Buffer {
 // Ingest implements Ingestor by queueing the record locally.
 func (b *Buffer) Ingest(rec Record) (string, error) {
 	if rec.Experiment == "" {
-		return "", fmt.Errorf("portal: record missing experiment name")
+		return "", fmt.Errorf("%w: missing experiment name", ErrInvalid)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -163,3 +163,50 @@ func TestBufferRetainsRecordsOnFailedFlush(t *testing.T) {
 		t.Fatal("buffer accepted record without experiment")
 	}
 }
+
+// TestAutoIDSkipsClaimedSequenceNumbers: a caller-supplied ID shaped like
+// the generator's output (any client can POST one) must not wedge auto-ID
+// ingestion — a rejected collision would never commit the sequence, so
+// every retry would regenerate the same colliding ID until restart.
+func TestAutoIDSkipsClaimedSequenceNumbers(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	if _, err := s.Ingest(Record{ID: "rec-000001", Experiment: "squat", Time: now}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Ingest(Record{Experiment: "auto", Time: now})
+	if err != nil {
+		t.Fatalf("auto-ID ingest wedged by claimed sequence ID: %v", err)
+	}
+	if id == "rec-000001" {
+		t.Fatalf("assigned already-claimed id %s", id)
+	}
+	// The skip also holds within one batch: an explicit ID earlier in the
+	// batch must not collide with a later auto-ID record.
+	ids, err := s.IngestBatch([]Record{
+		{ID: "rec-000003", Experiment: "squat", Time: now},
+		{Experiment: "auto", Time: now},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[1] == "rec-000003" {
+		t.Fatalf("batch auto-ID collided: %v", ids)
+	}
+	// ...in either order: the explicit IDs are claimed before any auto ID
+	// is assigned, so an auto record ahead of the explicit one in the same
+	// batch must also skip it.
+	ids, err = s.IngestBatch([]Record{
+		{Experiment: "auto", Time: now},
+		{ID: "rec-000005", Experiment: "squat", Time: now},
+	})
+	if err != nil {
+		t.Fatalf("auto-before-explicit batch rejected: %v", err)
+	}
+	if ids[0] == "rec-000005" {
+		t.Fatalf("batch auto-ID collided with later explicit ID: %v", ids)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -93,9 +94,13 @@ func Serve(store *Store) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// Attachment sizes are derived, never client-supplied: honoring
+		// file_sizes on ingest would create phantom attachment metadata
+		// (counted in summaries, reported by search, gone after a restart).
+		rec.sizes = nil
 		id, err := store.Ingest(rec)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), ingestStatus(err))
 			return
 		}
 		writeJSON(w, map[string]any{"id": id})
@@ -117,11 +122,12 @@ func Serve(store *Store) http.Handler {
 				http.Error(w, fmt.Sprintf("record %d: %v", i, err), http.StatusBadRequest)
 				return
 			}
+			rec.sizes = nil // sizes are derived, never client-supplied
 			recs[i] = rec
 		}
 		ids, err := store.IngestBatch(recs)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), ingestStatus(err))
 			return
 		}
 		if ids == nil {
@@ -133,7 +139,13 @@ func Serve(store *Store) http.Handler {
 		id := strings.TrimPrefix(req.URL.Path, "/records/")
 		rec, err := store.Get(id)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			// A nonexistent record is the client's 404; a blob-load failure
+			// on a record the store does have is a server fault.
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		writeJSON(w, toWire(rec, true))
@@ -204,6 +216,17 @@ func Serve(store *Store) http.Handler {
 	return mux
 }
 
+// ingestStatus maps a store ingest error to an HTTP status: a bad
+// submission is the client's 400, while store-side failures (closed store,
+// segment or blob write errors) are 500 so a remote publisher knows a
+// retry may still land.
+func ingestStatus(err error) int {
+	if errors.Is(err, ErrInvalid) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
@@ -233,8 +256,7 @@ func (c *Client) Ingest(rec Record) (string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return "", fmt.Errorf("portal: ingest: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return "", ingestError("ingest", resp)
 	}
 	var out struct {
 		ID string `json:"id"`
@@ -260,14 +282,13 @@ func (c *Client) IngestBatch(recs []Record) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("portal: encode batch: %w", err)
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/ingest/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.batchClient(len(body)).Post(c.BaseURL+"/ingest/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("portal: ingest batch: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("portal: ingest batch: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return nil, ingestError("ingest batch", resp)
 	}
 	var out struct {
 		IDs []string `json:"ids"`
@@ -279,6 +300,35 @@ func (c *Client) IngestBatch(recs []Record) ([]string, error) {
 		return nil, fmt.Errorf("portal: batch response has %d ids for %d records", len(out.IDs), len(recs))
 	}
 	return out.IDs, nil
+}
+
+// batchClient returns the HTTP client to use for an n-byte batch upload.
+// The default 30s total timeout is sized for single records and queries; a
+// whole campaign's attachments travel in one batch POST, so the deadline
+// grows with the payload (one extra second per 256KiB) — otherwise a large
+// campaign would time out deterministically on every flush attempt where
+// the per-record publish path it replaced fit each record comfortably.
+func (c *Client) batchClient(n int) *http.Client {
+	if c.HTTP.Timeout <= 0 || n < 1<<20 {
+		return c.HTTP
+	}
+	scaled := *c.HTTP
+	scaled.Timeout += time.Duration(n/(256<<10)) * time.Second
+	return &scaled
+}
+
+// ingestError converts a non-200 ingest response into an error, carrying
+// the server's verdict back as ErrInvalid on exactly 400 — the portal's
+// only invalid-submission status — so publishers (errors.Is(err,
+// ErrInvalid)) do not burn retries on a hopeless resend. Other 4xx codes
+// (a proxy's 408/429, say) stay plain errors and remain retryable.
+func ingestError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	err := fmt.Errorf("portal: %s: HTTP %d: %s", op, resp.StatusCode, strings.TrimSpace(string(msg)))
+	if resp.StatusCode == http.StatusBadRequest {
+		err = fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return err
 }
 
 // Summary fetches an experiment summary.

@@ -1,7 +1,13 @@
 package portal
 
 import (
+	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -198,5 +204,149 @@ func TestHTTPErrors(t *testing.T) {
 	dead := NewClient(srv.URL)
 	if _, err := dead.Ingest(Record{Experiment: "x"}); err == nil {
 		t.Fatal("ingest to dead server succeeded")
+	}
+}
+
+// TestHTTPIngestStatusCodes: a bad submission is the client's 400 while a
+// store-side failure is a 500, so a remote publisher can tell "fix the
+// record" from "retry later".
+func TestHTTPIngestStatusCodes(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Serve(store))
+	defer srv.Close()
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/ingest", `{"experiment":""}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid record = HTTP %d, want 400", code)
+	}
+	if code := post("/ingest/batch", `[{"experiment":"x"},{"experiment":""}]`); code != http.StatusBadRequest {
+		t.Fatalf("invalid batch = HTTP %d, want 400", code)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := post("/ingest", `{"experiment":"x"}`); code != http.StatusInternalServerError {
+		t.Fatalf("closed-store ingest = HTTP %d, want 500", code)
+	}
+	if code := post("/ingest/batch", `[{"experiment":"x"}]`); code != http.StatusInternalServerError {
+		t.Fatalf("closed-store batch = HTTP %d, want 500", code)
+	}
+}
+
+// TestIngestErrorClassification: only the portal's own 400 marks a
+// submission invalid (no retry can help); a proxy's 429 or 408 must stay
+// retryable.
+func TestIngestErrorClassification(t *testing.T) {
+	mk := func(code int) *http.Response {
+		return &http.Response{StatusCode: code, Body: io.NopCloser(strings.NewReader("nope"))}
+	}
+	if err := ingestError("ingest", mk(http.StatusBadRequest)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("400 not classified invalid: %v", err)
+	}
+	for _, code := range []int{http.StatusRequestTimeout, http.StatusTooManyRequests, http.StatusInternalServerError} {
+		if err := ingestError("ingest", mk(code)); errors.Is(err, ErrInvalid) {
+			t.Fatalf("HTTP %d wrongly classified invalid: %v", code, err)
+		}
+	}
+}
+
+// TestHTTPRecordGetStatusCodes: a nonexistent record is a 404, but a
+// blob-load failure on a record the store does have is a 500 — the record
+// exists, the server just cannot serve it right now.
+func TestHTTPRecordGetStatusCodes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	id, err := store.Ingest(Record{Experiment: "g", Time: time.Now(),
+		Files: map[string][]byte{"plate.png": []byte("img")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Serve(store))
+	defer srv.Close()
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/records/" + id); code != http.StatusOK {
+		t.Fatalf("existing record = HTTP %d", code)
+	}
+	if code := get("/records/nope"); code != http.StatusNotFound {
+		t.Fatalf("missing record = HTTP %d, want 404", code)
+	}
+	// Sabotage the blob: the record still exists, so this is a server
+	// fault, not a 404.
+	blobs, err := filepath.Glob(filepath.Join(dir, blobDirName, "b-*.bin"))
+	if err != nil || len(blobs) != 1 {
+		t.Fatalf("blobs = %v, %v", blobs, err)
+	}
+	if err := os.Remove(blobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/records/" + id); code != http.StatusInternalServerError {
+		t.Fatalf("unloadable record = HTTP %d, want 500", code)
+	}
+}
+
+// TestHTTPIngestIgnoresClientFileSizes: file_sizes is server-derived
+// search metadata; honoring it on ingest would create phantom attachments
+// (counted by summaries, gone after a restart).
+func TestHTTPIngestIgnoresClientFileSizes(t *testing.T) {
+	c, store := newPortalFixture(t)
+	srv := c.BaseURL
+	body := `{"experiment":"phantom","run":1,"time":"2023-08-16T09:00:00Z","file_sizes":{"plate.png":12345}}`
+	resp, err := http.Post(srv+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = HTTP %d", resp.StatusCode)
+	}
+	recs := store.Search(Query{Experiment: "phantom"})
+	if len(recs) != 1 || len(recs[0].FileSizes()) != 0 {
+		t.Fatalf("client-supplied file_sizes honored: %+v", recs[0].FileSizes())
+	}
+	sum, err := store.Summarize("phantom")
+	if err != nil || sum.Images != 0 {
+		t.Fatalf("phantom attachment counted: %+v, %v", sum, err)
+	}
+}
+
+// TestBatchClientScalesTimeout: small batches use the client as-is; a
+// multi-megabyte batch (a whole campaign's attachments in one POST) gets a
+// deadline that grows with the payload instead of failing deterministically
+// at the read-path timeout.
+func TestBatchClientScalesTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid")
+	if got := c.batchClient(512); got != c.HTTP {
+		t.Fatal("small batch should reuse the base client")
+	}
+	big := c.batchClient(64 << 20) // 64 MiB
+	if big == c.HTTP || big.Timeout <= c.HTTP.Timeout {
+		t.Fatalf("big batch timeout = %v (base %v), want scaled", big.Timeout, c.HTTP.Timeout)
+	}
+	// A caller that disabled the timeout keeps it disabled.
+	c.HTTP.Timeout = 0
+	if got := c.batchClient(64 << 20); got != c.HTTP {
+		t.Fatal("disabled timeout should not be re-enabled")
 	}
 }

@@ -18,8 +18,9 @@ import (
 //	<dir>/blobs/b-00000042.bin        attachment bodies, one file each,
 //	                                  referenced by name from segment lines
 //
-// A record becomes durable when its segment line is fully written; its
-// blobs are written first, so a line never references a missing blob. On
+// A record becomes durable when its segment line is written and fsynced;
+// its blobs are written (and synced) first, so a line never references a
+// missing blob. On
 // OpenStore the segments are replayed oldest-first; a torn final line (the
 // process died mid-append) is truncated away and everything before it is
 // restored, indexes and summary cache included.
@@ -56,9 +57,16 @@ type segmentLog struct {
 	dir    string // data dir root
 	f      *os.File
 	w      *bufio.Writer
-	size   int64
-	segSeq int // current segment number (1-based)
-	blob   int // last blob number issued
+	size   int64 // committed bytes: the segment's length after the last successful batch
+	segSeq int   // current segment number (1-based)
+	blob   int   // last blob number issued
+	// fault poisons the log: set when a failed append could not be rolled
+	// back (or a rotation failed), leaving the on-disk state untrustworthy
+	// for further writes. Every later append is refused, which keeps the
+	// committed prefix replayable instead of corrupting it.
+	fault error
+	// unlock releases the data dir's single-writer lock on close.
+	unlock func()
 }
 
 func segmentPath(dir string, seq int) string {
@@ -76,6 +84,16 @@ func OpenStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("portal: open store: %w", err)
 		}
 	}
+	unlock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			unlock()
+		}
+	}()
 	names, err := filepath.Glob(filepath.Join(dir, segmentDirName, "seg-*.jsonl"))
 	if err != nil {
 		return nil, fmt.Errorf("portal: open store: %w", err)
@@ -97,6 +115,12 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	f, err := os.OpenFile(segmentPath(dir, log.segSeq), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("portal: open segment: %w", err)
+	}
+	// The OpenFile may just have created the segment: make its directory
+	// entry durable before any batch is acknowledged out of it.
+	if err := syncDir(filepath.Join(dir, segmentDirName)); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("portal: open segment: %w", err)
 	}
 	st, err := f.Stat()
@@ -123,7 +147,9 @@ func OpenStore(dir string) (*Store, error) {
 			log.size++
 		}
 	}
+	log.unlock = unlock
 	s.log = log
+	opened = true
 	return s, nil
 }
 
@@ -135,6 +161,11 @@ func (s *Store) replaySegment(log *segmentLog, name string, last bool) error {
 	if err != nil {
 		return fmt.Errorf("portal: replay %s: %w", filepath.Base(name), err)
 	}
+	// A torn append can only leave an unterminated final line: appendRecords
+	// writes each line with its '\n' in one prefix-failing write, so a line
+	// that ends in '\n' was fully committed — if it no longer parses, that
+	// is in-place corruption to report, not a tear to truncate.
+	tornTailPossible := len(data) > 0 && data[len(data)-1] != '\n'
 	offset := int64(0)
 	for len(data) > 0 {
 		line := data
@@ -145,7 +176,7 @@ func (s *Store) replaySegment(log *segmentLog, name string, last bool) error {
 		}
 		var sr segRecord
 		if err := json.Unmarshal(line, &sr); err != nil || sr.Experiment == "" {
-			if last && len(data) == 0 {
+			if last && len(data) == 0 && tornTailPossible {
 				// Torn tail: the process died mid-append. Drop the record
 				// and truncate so the log ends on a clean line boundary.
 				if terr := os.Truncate(name, offset); terr != nil {
@@ -195,12 +226,63 @@ func (l *segmentLog) writeBlobs(files map[string][]byte) (map[string]blobRef, er
 	for _, name := range names {
 		l.blob++
 		file := fmt.Sprintf("b-%08d.bin", l.blob)
-		if err := os.WriteFile(filepath.Join(l.dir, blobDirName, file), files[name], 0o644); err != nil {
+		if err := writeFileSync(filepath.Join(l.dir, blobDirName, file), files[name]); err != nil {
 			return nil, fmt.Errorf("portal: write blob: %w", err)
 		}
 		refs[name] = blobRef{File: file, Size: len(files[name])}
 	}
 	return refs, nil
+}
+
+// usable reports whether the log can accept appends, surfacing the poison
+// fault set by an unrecoverable earlier failure.
+func (l *segmentLog) usable() error {
+	if l.fault != nil {
+		return fmt.Errorf("portal: segment log unusable after earlier failure: %w", l.fault)
+	}
+	return nil
+}
+
+// syncBlobDir makes newly written blobs' directory entries durable; called
+// once per ingest batch rather than once per record.
+func (l *segmentLog) syncBlobDir() error {
+	if err := syncDir(filepath.Join(l.dir, blobDirName)); err != nil {
+		return fmt.Errorf("portal: sync blob dir: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created files' entries survive a
+// power loss. Without it a blob (or rotated segment) could lose its name
+// while the already-synced segment line referencing it survives.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileSync is os.WriteFile plus an fsync: blob bodies must reach disk
+// before the segment line referencing them does, or a power loss could
+// leave a durable record pointing at lost attachment bytes.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readBlobs loads a record's attachment bodies.
@@ -216,27 +298,60 @@ func (l *segmentLog) readBlobs(refs map[string]blobRef) (map[string][]byte, erro
 	return files, nil
 }
 
-// appendRecords writes one line per record and flushes once, rotating to a
-// fresh segment when the current one is full. Callers hold the store lock.
+// appendRecords makes a batch durable as a unit, rotating to a fresh
+// segment when the current one is full. Every line is encoded before any
+// byte is staged, so an unmarshalable record (say a NaN field value)
+// rejects the batch without touching the log. A failed write or flush rolls
+// the segment back to its last committed length — buffered bytes are
+// discarded and partially flushed ones truncated — so no phantom line can
+// ride along with a later batch and brick replay with a duplicate ID. If
+// the rollback itself fails the log is poisoned and refuses further
+// appends. Callers hold the store lock.
 func (l *segmentLog) appendRecords(recs []Record, blobs []map[string]blobRef) error {
+	if err := l.usable(); err != nil {
+		return err
+	}
+	var batch []byte
 	for i, rec := range recs {
 		sr := segRecord{ID: rec.ID, Experiment: rec.Experiment, Run: rec.Run, Time: rec.Time,
 			Fields: rec.Fields, Blobs: blobs[i]}
 		line, err := json.Marshal(sr)
 		if err != nil {
-			return fmt.Errorf("portal: encode record %s: %w", rec.ID, err)
+			// The record itself is unencodable (a NaN field, say): that is
+			// the submitter's ErrInvalid, not a store fault — retrying or
+			// resending the identical batch can never succeed.
+			return fmt.Errorf("%w: encode record %s: %v", ErrInvalid, rec.ID, err)
 		}
-		line = append(line, '\n')
-		if _, err := l.w.Write(line); err != nil {
-			return fmt.Errorf("portal: append record %s: %w", rec.ID, err)
+		batch = append(batch, line...)
+		batch = append(batch, '\n')
+	}
+	_, werr := l.w.Write(batch)
+	if werr == nil {
+		werr = l.w.Flush()
+	}
+	if werr == nil {
+		// The fsync is the commit point: a record acknowledged to the caller
+		// must survive power loss, not just process death. Segment and blob
+		// directory entries are synced where the files are created, so the
+		// whole chain — blob bytes, blob name, segment line, segment name —
+		// is on disk before the batch commits.
+		werr = l.f.Sync()
+	}
+	if werr != nil {
+		l.w.Reset(l.f)
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.fault = fmt.Errorf("roll back segment to %d bytes: %v (after append failure: %v)", l.size, terr, werr)
+			return fmt.Errorf("portal: %w", l.fault)
 		}
-		l.size += int64(len(line))
+		return fmt.Errorf("portal: append batch: %w", werr)
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("portal: flush segment: %w", err)
-	}
+	l.size += int64(len(batch))
 	if l.size >= maxSegmentBytes {
-		return l.rotate()
+		if err := l.rotate(); err != nil {
+			// The flush succeeded, so this batch is durable and must commit;
+			// only future appends have nowhere safe to go.
+			l.fault = err
+		}
 	}
 	return nil
 }
@@ -251,12 +366,17 @@ func (l *segmentLog) rotate() error {
 	if err != nil {
 		return fmt.Errorf("portal: rotate segment: %w", err)
 	}
+	if err := syncDir(filepath.Join(l.dir, segmentDirName)); err != nil {
+		f.Close()
+		return fmt.Errorf("portal: rotate segment: %w", err)
+	}
 	l.f, l.w, l.size = f, bufio.NewWriter(f), 0
 	return nil
 }
 
-// close flushes and closes the log.
+// close flushes and closes the log, releasing the data dir lock.
 func (l *segmentLog) close() error {
+	defer l.unlock()
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("portal: flush segment: %w", err)

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package portal
+
+// lockDataDir is a no-op where flock is unavailable; single-writer
+// discipline is then up to the operator.
+func lockDataDir(string) (release func(), err error) {
+	return func() {}, nil
+}

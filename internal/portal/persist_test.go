@@ -1,7 +1,9 @@
 package portal
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -350,4 +352,160 @@ func TestDiskStoreConcurrentIngestAndSearch(t *testing.T) {
 	if err != nil || sum.Records != 200 || sum.Images != 200 || sum.Runs != 4 {
 		t.Fatalf("summary = %+v, %v", sum, err)
 	}
+}
+
+// TestFailedAppendLeavesLogCommitted exercises the all-or-nothing guarantee
+// under a mid-batch encode failure: a NaN field value makes json.Marshal
+// fail partway through a batch. The rejected batch must leave no phantom
+// bytes in the log — the next auto-ID ingest reuses the failed batch's
+// sequence numbers, so a leaked line would collide on replay and brick the
+// data dir with a duplicate-ID error.
+func TestFailedAppendLeavesLogCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := diskRecords(2)
+	if _, err := s.Ingest(good[0]); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	bad := []Record{
+		{Experiment: "fine", Run: 1, Time: t0, Fields: map[string]any{"samples": 1}},
+		{Experiment: "poisoned", Run: 2, Time: t0, Fields: map[string]any{"score": math.NaN()}},
+	}
+	if _, err := s.IngestBatch(bad); err == nil {
+		t.Fatal("batch with unmarshalable field accepted")
+	} else if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unencodable record classified as store fault: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("rejected batch changed Len to %d", s.Len())
+	}
+	// This ingest is assigned the same rec ID the failed batch's first
+	// record would have gotten; both on the same line boundary if a phantom
+	// line had been staged.
+	if _, err := s.Ingest(good[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after rejected batch: %v", err)
+	}
+	defer reopened.Close()
+	assertMatchesFresh(t, reopened, good)
+}
+
+// TestFailedRollbackPoisonsLog: when an append fails and the segment cannot
+// be rolled back to its committed length (here the file handle is dead),
+// the store must refuse all further ingests rather than risk writing an
+// unreplayable log — and the data dir must still reopen with exactly the
+// committed records.
+func TestFailedRollbackPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(3)
+	if _, err := s.Ingest(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the segment file: the next flush fails, and so does the
+	// rollback truncate.
+	s.log.f.Close()
+	if _, err := s.IngestBatch(recs[1:2]); err == nil {
+		t.Fatal("append through a dead segment file succeeded")
+	}
+	if _, err := s.Ingest(recs[2]); err == nil || !strings.Contains(err.Error(), "earlier failure") {
+		t.Fatalf("poisoned log accepted a record: %v", err)
+	}
+	// Retire the wedged store (Close errors on the dead file but still
+	// releases the data-dir lock) and "restart".
+	s.Close()
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	assertMatchesFresh(t, reopened, recs[:1])
+}
+
+// TestGetAfterCloseErrors: reading a blob-backed record off a closed disk
+// store must fail loudly, not silently return the record with its
+// attachments stripped.
+func TestGetAfterCloseErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Ingest(diskRecords(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Get on closed store = %v, want closed-store error", err)
+	}
+}
+
+// TestReplayRejectsCorruptTerminatedTail: a final line that ends in '\n'
+// was fully committed (appends write line+'\n' as one prefix-failing
+// write), so if it no longer parses that is in-place corruption of an
+// acknowledged record — report it, never silently truncate it away.
+func TestReplayRejectsCorruptTerminatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range diskRecords(3) {
+		if _, err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the last line's JSON in place, keeping its trailing newline.
+	lastNL := strings.LastIndexByte(strings.TrimRight(string(data), "\n"), '\n')
+	copy(data[lastNL+2:], "!!!!")
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted committed tail opened as %v, want corruption error", err)
+	}
+}
+
+// TestOpenStoreRejectsSecondWriter: two live stores on one data dir would
+// interleave appends with independent sequence counters and brick the
+// archive with duplicate IDs — the second open must fail fast instead.
+func TestOpenStoreRejectsSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second writer on live data dir = %v, want lock error", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	reopened.Close()
 }

@@ -62,6 +62,12 @@ type BatchIngestor interface {
 // ErrNotFound reports a lookup of a nonexistent record.
 var ErrNotFound = errors.New("portal: record not found")
 
+// ErrInvalid reports a rejected record: the submission itself was bad
+// (missing experiment name, duplicate ID), as opposed to a store-side
+// failure. The HTTP server maps it to 400 so clients can tell a hopeless
+// resubmission from a retryable server fault.
+var ErrInvalid = errors.New("portal: invalid record")
+
 // entry is one stored record plus, for disk-backed stores, the blob
 // references resolving its attachments.
 type entry struct {
@@ -95,17 +101,21 @@ func NewStore() *Store {
 	}
 }
 
-// Close flushes and closes the store's segment log. It is a no-op for
-// in-memory stores. Records ingested after Close are rejected.
+// Close flushes and closes the store's segment log (in-memory stores have
+// none to flush). In both modes records ingested after Close are rejected;
+// reads keep working.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.log == nil {
-		return nil
+	var err error
+	if s.log != nil {
+		err = s.log.close()
+		s.log = nil
 	}
-	err := s.log.close()
-	s.log = nil
-	s.seq = -1 // poison: further ingests must not silently go memory-only
+	// Poison ingestion for both modes so the documented contract holds
+	// uniformly; for disk stores in particular, records after Close must
+	// not silently go memory-only. Reads keep working.
+	s.seq = -1
 	return err
 }
 
@@ -136,33 +146,60 @@ func (s *Store) IngestBatch(recs []Record) ([]string, error) {
 		return nil, fmt.Errorf("portal: store is closed")
 	}
 	// Validate and assign IDs before touching any state, so a bad record
-	// anywhere in the batch rejects the whole batch cleanly.
+	// anywhere in the batch rejects the whole batch cleanly. Caller-supplied
+	// IDs are all checked first: the generator must skip every claimed ID —
+	// including one later in this same batch — because rejecting a collision
+	// would not commit seq, so every retry would regenerate the same
+	// colliding ID and auto-ID ingest would be stuck until restart.
 	seq := s.seq
 	seen := make(map[string]bool, len(recs))
 	for i := range recs {
 		if recs[i].Experiment == "" {
-			return nil, fmt.Errorf("portal: record %d missing experiment name", i)
+			return nil, fmt.Errorf("%w: record %d missing experiment name", ErrInvalid, i)
 		}
 		if recs[i].ID == "" {
-			seq++
-			recs[i].ID = fmt.Sprintf("rec-%06d", seq)
+			continue
 		}
 		if _, dup := s.byID[recs[i].ID]; dup || seen[recs[i].ID] {
-			return nil, fmt.Errorf("portal: duplicate record id %q", recs[i].ID)
+			return nil, fmt.Errorf("%w: duplicate record id %q", ErrInvalid, recs[i].ID)
 		}
 		seen[recs[i].ID] = true
 	}
+	for i := range recs {
+		for recs[i].ID == "" {
+			seq++
+			if id := fmt.Sprintf("rec-%06d", seq); !seen[id] {
+				if _, dup := s.byID[id]; !dup {
+					recs[i].ID = id
+					seen[id] = true
+				}
+			}
+		}
+	}
 	blobs := make([]map[string]blobRef, len(recs))
 	if s.log != nil {
+		// A poisoned log refuses the batch before any blob I/O: retrying
+		// publishers must not pile orphan blob files (and fsyncs) onto a
+		// store that can never accept them.
+		if err := s.log.usable(); err != nil {
+			return nil, err
+		}
 		// Durability: blobs first, then the segment lines referencing them.
 		// A crash in between leaves at worst orphaned blob files and a torn
 		// final line, both of which replay discards.
+		wroteBlobs := false
 		for i := range recs {
 			refs, err := s.log.writeBlobs(recs[i].Files)
 			if err != nil {
 				return nil, err
 			}
 			blobs[i] = refs
+			wroteBlobs = wroteBlobs || len(refs) > 0
+		}
+		if wroteBlobs {
+			if err := s.log.syncBlobDir(); err != nil {
+				return nil, err
+			}
 		}
 		if err := s.log.appendRecords(recs, blobs); err != nil {
 			return nil, err
@@ -229,8 +266,14 @@ func (s *Store) Get(id string) (Record, error) {
 	e := s.entries[slot]
 	log := s.log
 	s.mu.RUnlock()
-	if len(e.blobs) == 0 || log == nil {
+	if len(e.blobs) == 0 {
 		return e.rec, nil
+	}
+	if log == nil {
+		// Only a Closed disk store gets here (in-memory records never carry
+		// blob refs): error out rather than silently return the record with
+		// its attachments stripped.
+		return Record{}, fmt.Errorf("portal: record %s: store is closed", id)
 	}
 	// Blob files are immutable once their segment line is visible, so the
 	// load can run outside the lock.

@@ -184,3 +184,23 @@ func TestConcurrentIngestAndSearch(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+// TestCloseRejectsIngestInMemory: Close's contract — records ingested
+// after Close are rejected — holds for the in-memory store too, not just
+// the disk-backed one.
+func TestCloseRejectsIngestInMemory(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Ingest(Record{Experiment: "e", Time: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(Record{Experiment: "e", Time: time.Now()}); err == nil {
+		t.Fatal("closed in-memory store accepted a record")
+	}
+	// Reads keep working.
+	if s.Len() != 1 || len(s.Search(Query{Experiment: "e"})) != 1 {
+		t.Fatal("reads broken after Close")
+	}
+}
