@@ -23,11 +23,30 @@
 // flushed in one POST /ingest/batch round-trip at campaign end. Against a
 // portal started with -data the campaign archive survives portal restarts.
 //
+// # Elastic pools
+//
 // With -remote the pool is the listed cmd/workcell-style HTTP servers — one
-// workcell per URL — instead of in-process simulated cells: each campaign
-// starts with a server-side session reset (fresh plate stock), admission is
-// health-gated, and a cell that dies mid-campaign is retired with its
-// campaign rescheduled onto a healthy one.
+// workcell per URL — managed by the fleet registry: each campaign starts
+// with a server-side session reset (fresh plate stock), admission is
+// health-gated, a cell that dies mid-campaign is retired with its campaign
+// requeued (uncharged), and a health prober keeps checking the corpse so a
+// restarted cell is re-admitted and resumes taking campaigns.
+//
+//	fleet -campaigns 100 -remote http://a:2000 -probe-interval 500ms
+//
+// With -join-listen the fleet also serves its control plane, so workcells
+// started with -announce join (and leave) the pool at runtime without being
+// listed up front; -join-grace bounds how long an empty pool waits for its
+// first member:
+//
+//	fleet -campaigns 100 -join-listen :2200 -join-grace 30s
+//
+// With -churn-cells N the pool is N in-process churnable workcell servers
+// and -churn applies a kill/restart schedule against them — the
+// churning-fleet benchmark:
+//
+//	fleet -campaigns 100 -churn-cells 4 -act-delay 2ms \
+//	    -churn "0@1s+2s,2@3s+2s" -bench-out BENCH_fleet.json
 //
 // All timing is measured on the workcells' clocks (virtual for the local
 // pool — robot wall-clock, the quantity the paper benchmarks — and the wall
@@ -36,12 +55,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"colormatch/internal/color"
 	"colormatch/internal/core"
@@ -55,24 +77,49 @@ func main() {
 		nCampaigns = flag.Int("campaigns", 8, "number of independent campaigns N")
 		nWorkcells = flag.Int("workcells", 2, "size of the simulated workcell pool M")
 		lanes      = flag.Int("lanes", 1, "concurrent campaigns per workcell K; cells get K liquid handlers and pipeline campaigns under module leases (local pool only)")
-		benchOut   = flag.String("bench-out", "", "write the run's makespan/speedup/utilization benchmark JSON to this file")
+		benchOut   = flag.String("bench-out", "", "write the run's makespan/speedup/utilization benchmark JSON to this file (merged per scenario)")
+		benchScen  = flag.String("bench-scenario", "", "scenario key for -bench-out (default lanes, or churn with -churn-cells)")
 		solverName = flag.String("solver", "genetic", "solver: genetic|genetic-grid|bayesian|random|grid")
 		batch      = flag.Int("batch", 4, "proposals requested from each solver at once (batch size k)")
 		samples    = flag.Int("samples", 32, "sample budget per campaign")
 		seed       = flag.Int64("seed", 1, "base seed for workcells and campaigns")
 		targetHex  = flag.String("target", "787878", "target color as RRGGBB hex")
-		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell")
+		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell (local pool only)")
 		publish    = flag.Bool("publish", false, "publish campaign records and a fleet summary to an in-memory portal")
 		portalURL  = flag.String("portal", "", "publish campaign records and the fleet summary to this cmd/portal base URL (batch-flushed per campaign; overrides -publish)")
 		compact    = flag.Bool("compact", false, "emit compact JSON instead of indented")
-		remote     = flag.String("remote", "", "comma-separated workcell server base URLs; one remote cell per URL (overrides -workcells; -faults is local-pool-only, -seed still seeds campaign solvers)")
+		remote     = flag.String("remote", "", "comma-separated workcell server base URLs; one remote cell per URL (overrides -workcells; -seed still seeds campaign solvers)")
+		joinListen = flag.String("join-listen", "", "serve the fleet control plane (POST /join, POST /leave, GET /members) on this address so workcells can join at runtime")
+		joinGrace  = flag.Duration("join-grace", 15*time.Second, "how long a pool with no live cell waits for one to (re)join before failing queued campaigns (elastic pools)")
+		probeEvery = flag.Duration("probe-interval", time.Second, "base health-probe interval for suspect/down cells (elastic pools)")
+		maxDown    = flag.Duration("max-downtime", 10*time.Minute, "give up on a cell that has been down this long (elastic pools)")
+		churnCells = flag.Int("churn-cells", 0, "run the campaigns against N in-process churnable workcell servers (the churning-fleet benchmark pool)")
+		churnSpec  = flag.String("churn", "", `kill/restart schedule "cell@killAt+downtime,..." for the -churn-cells pool (omit +downtime to kill for good)`)
+		actDelay   = flag.Duration("act-delay", 0, "real-time delay per action command on -churn-cells servers, so scheduled kills land mid-campaign")
 	)
 	flag.Parse()
 
+	cfg := fleetConfig{
+		lanes:      *lanes,
+		faults:     *faultRate,
+		remoteFlag: *remote,
+		remote:     splitURLs(*remote),
+		churnCells: *churnCells,
+		churnSpec:  *churnSpec,
+		joinListen: *joinListen,
+	}
+	if err := cfg.validate(); err != nil {
+		fatal(err)
+	}
+	churnEvents, err := fleet.ParseChurn(*churnSpec)
+	if err != nil {
+		fatal(err)
+	}
 	target, err := color.ParseHex(*targetHex)
 	if err != nil {
 		fatal(err)
 	}
+
 	opts := fleet.Options{
 		Workcells:    *nWorkcells,
 		LanesPerCell: *lanes,
@@ -84,34 +131,70 @@ func main() {
 	if *portalURL != "" {
 		opts.Portal = portal.NewClient(*portalURL)
 	}
-	if *lanes < 1 {
-		fatal(fmt.Errorf("-lanes must be >= 1, got %d", *lanes))
+
+	// Elastic pools run off a registry: remote URLs and churn cells are
+	// health-probed members, and -join-listen admits announcers at runtime.
+	var pool *fleet.ChurnPool
+	if cfg.elastic() {
+		reg := fleet.NewRegistry(fleet.RegistryOptions{
+			ProbeInterval: *probeEvery,
+			MaxDowntime:   *maxDown,
+			JoinGrace:     *joinGrace,
+			Seed:          *seed,
+		})
+		defer reg.Close()
+		ropts := fleet.RemoteOptions{}
+		if cfg.churnCells > 0 {
+			pool, err = fleet.NewChurnPool(fleet.ChurnPoolOptions{
+				Cells:    cfg.churnCells,
+				Seed:     *seed,
+				ActDelay: *actDelay,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer pool.Close()
+			if err := pool.Register(reg, ropts); err != nil {
+				fatal(err)
+			}
+		}
+		for _, u := range cfg.remote {
+			if _, err := reg.AddRemote("", u, ropts); err != nil {
+				fatal(err)
+			}
+		}
+		if cfg.joinListen != "" {
+			srv := &http.Server{
+				Addr:              cfg.joinListen,
+				Handler:           reg.JoinHandler(ropts),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			go func() {
+				if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintln(os.Stderr, "fleet: control listener:", err)
+				}
+			}()
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "fleet: control plane on %s\n", cfg.joinListen)
+		}
+		opts.Registry = reg
 	}
-	if *remote != "" {
-		if *lanes > 1 {
-			// Lanes provision extra liquid handlers on local simulated
-			// cells; a remote cell's hardware is whatever its server has.
-			fatal(fmt.Errorf("-lanes is a local-pool option and has no effect with -remote"))
-		}
-		urls := splitURLs(*remote)
-		if len(urls) == 0 {
-			fatal(fmt.Errorf("-remote given but no URLs parsed from %q", *remote))
-		}
-		if *faultRate != 0 {
-			// Fault injection provisions the local pool's engines; a remote
-			// cell's faults are whatever its server experiences for real.
-			fatal(fmt.Errorf("-faults is a local-pool option and has no effect with -remote"))
-		}
-		opts.Provider = fleet.NewRemoteProvider(urls, fleet.RemoteOptions{})
-		opts.Workcells = len(urls)
-	}
+
 	campaigns := buildCampaigns(*nCampaigns, *solverName, target, *samples)
+	if pool != nil && len(churnEvents) > 0 {
+		stop := pool.Schedule(churnEvents)
+		defer stop()
+	}
 	res, err := fleet.Run(context.Background(), campaigns, opts)
 	if err != nil {
 		fatal(err)
 	}
 
-	s := summarize(res, opts.Workcells)
+	workcells := opts.Workcells
+	if cfg.elastic() {
+		workcells = len(res.Workcells)
+	}
+	s := summarize(res, workcells)
 	enc := json.NewEncoder(os.Stdout)
 	if !*compact {
 		enc.SetIndent("", "  ")
@@ -120,12 +203,82 @@ func main() {
 		fatal(err)
 	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, s); err != nil {
+		scenario := *benchScen
+		if scenario == "" {
+			scenario = "lanes"
+			if cfg.churnCells > 0 {
+				scenario = "churn"
+			}
+		}
+		if err := writeBench(*benchOut, scenario, buildBench(s, len(churnEvents))); err != nil {
 			fatal(err)
 		}
 	}
 	if res.Failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// fleetConfig is the subset of flag state with cross-flag constraints,
+// factored out so the fail-fast rules are testable.
+type fleetConfig struct {
+	lanes      int
+	faults     float64
+	remoteFlag string   // raw -remote value
+	remote     []string // parsed URLs
+	churnCells int
+	churnSpec  string
+	joinListen string
+}
+
+// elastic reports whether the run is registry-managed (remote, churn, or
+// runtime-join pools) rather than a fixed local simulated pool.
+func (c fleetConfig) elastic() bool {
+	return len(c.remote) > 0 || c.churnCells > 0 || c.joinListen != ""
+}
+
+// validate enforces the cross-flag rules and fails fast with a clear error
+// instead of silently ignoring a flag that has no effect.
+func (c fleetConfig) validate() error {
+	if c.lanes < 1 {
+		return fmt.Errorf("-lanes must be >= 1, got %d", c.lanes)
+	}
+	if c.remoteFlag != "" && len(c.remote) == 0 {
+		return fmt.Errorf("-remote given but no URLs parsed from %q", c.remoteFlag)
+	}
+	if c.churnCells < 0 {
+		return fmt.Errorf("-churn-cells must be >= 0, got %d", c.churnCells)
+	}
+	if c.churnCells > 0 && len(c.remote) > 0 {
+		return fmt.Errorf("-churn-cells and -remote both name a pool; choose one")
+	}
+	if c.churnSpec != "" && c.churnCells == 0 {
+		return fmt.Errorf("-churn needs a -churn-cells pool to act on")
+	}
+	if c.elastic() {
+		// Fault injection provisions the local pool's engines; an elastic
+		// pool's faults are whatever its servers experience for real.
+		if c.faults != 0 {
+			return fmt.Errorf("-faults is a local-pool option and has no effect with %s", c.elasticFlag())
+		}
+		// Lanes provision extra liquid handlers on local simulated cells; a
+		// remote cell's hardware is whatever its server has.
+		if c.lanes > 1 {
+			return fmt.Errorf("-lanes is a local-pool option and has no effect with %s", c.elasticFlag())
+		}
+	}
+	return nil
+}
+
+// elasticFlag names whichever flag made the run elastic, for error text.
+func (c fleetConfig) elasticFlag() string {
+	switch {
+	case len(c.remote) > 0:
+		return "-remote"
+	case c.churnCells > 0:
+		return "-churn-cells"
+	default:
+		return "-join-listen"
 	}
 }
 
@@ -136,6 +289,9 @@ type benchOutput struct {
 	Workcells          int       `json:"workcells"`
 	LanesPerCell       int       `json:"lanes_per_cell"`
 	Completed          int       `json:"completed"`
+	Lost               int       `json:"lost"`
+	Readmissions       int       `json:"readmissions"`
+	ChurnEvents        int       `json:"churn_events,omitempty"`
 	MakespanSeconds    float64   `json:"makespan_seconds"`
 	SequentialSeconds  float64   `json:"sequential_seconds"`
 	Speedup            float64   `json:"speedup_vs_sequential"`
@@ -145,13 +301,24 @@ type benchOutput struct {
 	PerCellUtilization []float64 `json:"per_cell_utilization"`
 }
 
-// writeBench saves the benchmark slice of a run summary to path.
-func writeBench(path string, s summary) error {
+// benchFile is the on-disk -bench-out shape: one entry per scenario, so the
+// lanes workload and the churning-fleet workload live side by side.
+type benchFile struct {
+	Scenarios map[string]benchOutput `json:"scenarios"`
+}
+
+// buildBench extracts the benchmark slice of a run summary. Lost counts
+// campaigns the scheduler never accounted for — it must be zero; a non-zero
+// value means the fleet dropped work on the floor.
+func buildBench(s summary, churnEvents int) benchOutput {
 	b := benchOutput{
 		Campaigns:         s.Campaigns,
 		Workcells:         s.Workcells,
 		LanesPerCell:      s.LanesPerCell,
 		Completed:         s.Completed,
+		Lost:              s.Campaigns - s.Completed - s.Failed - s.Canceled,
+		Readmissions:      s.Readmissions,
+		ChurnEvents:       churnEvents,
 		MakespanSeconds:   s.MakespanSeconds,
 		SequentialSeconds: s.SequentialSeconds,
 		Speedup:           s.Speedup,
@@ -165,7 +332,27 @@ func writeBench(path string, s summary) error {
 	if len(s.PerWorkcell) > 0 {
 		b.MeanUtilization /= float64(len(s.PerWorkcell))
 	}
-	data, err := json.MarshalIndent(b, "", "  ")
+	return b
+}
+
+// writeBench merges one scenario's benchmark into the file at path,
+// preserving the other scenarios already recorded there. A pre-scenario
+// file (one flat benchmark object) migrates to scenarios["lanes"].
+func writeBench(path, scenario string, b benchOutput) error {
+	f := benchFile{Scenarios: map[string]benchOutput{}}
+	if data, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(data)) > 0 {
+		var existing benchFile
+		if json.Unmarshal(data, &existing) == nil && existing.Scenarios != nil {
+			f.Scenarios = existing.Scenarios
+		} else {
+			var legacy benchOutput
+			if json.Unmarshal(data, &legacy) == nil && legacy.Campaigns > 0 {
+				f.Scenarios["lanes"] = legacy
+			}
+		}
+	}
+	f.Scenarios[scenario] = b
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -207,6 +394,7 @@ type summary struct {
 	Canceled          int                      `json:"canceled"`
 	Samples           int                      `json:"samples"`
 	Faults            int                      `json:"faults"`
+	Readmissions      int                      `json:"readmissions"`
 	MakespanSeconds   float64                  `json:"makespan_seconds"`
 	SequentialSeconds float64                  `json:"sequential_seconds"`
 	Speedup           float64                  `json:"speedup_vs_sequential"`
@@ -227,6 +415,7 @@ type moduleSummary struct {
 
 type workcellSummary struct {
 	Index            int     `json:"index"`
+	Name             string  `json:"name,omitempty"`
 	Lanes            int     `json:"lanes"`
 	Campaigns        int     `json:"campaigns"`
 	BusySeconds      float64 `json:"busy_seconds"`
@@ -234,6 +423,7 @@ type workcellSummary struct {
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	Utilization      float64 `json:"utilization"`
 	Faults           int     `json:"faults"`
+	Admissions       int     `json:"admissions,omitempty"`
 	Retired          bool    `json:"retired,omitempty"`
 }
 
@@ -262,6 +452,7 @@ func summarize(res *fleet.Result, workcells int) summary {
 		Canceled:          res.Canceled,
 		Samples:           res.Samples,
 		Faults:            res.Faults,
+		Readmissions:      res.Readmissions,
 		MakespanSeconds:   res.Makespan.Seconds(),
 		SequentialSeconds: res.SequentialWall.Seconds(),
 		Speedup:           res.Speedup,
@@ -285,6 +476,7 @@ func summarize(res *fleet.Result, workcells int) summary {
 	for _, wc := range res.Workcells {
 		s.PerWorkcell = append(s.PerWorkcell, workcellSummary{
 			Index:            wc.Index,
+			Name:             wc.Name,
 			Lanes:            wc.Lanes,
 			Campaigns:        wc.Campaigns,
 			BusySeconds:      wc.Busy.Seconds(),
@@ -292,6 +484,7 @@ func summarize(res *fleet.Result, workcells int) summary {
 			QueueWaitSeconds: wc.QueueWait.Seconds(),
 			Utilization:      wc.Utilization,
 			Faults:           wc.Faults,
+			Admissions:       wc.Admissions,
 			Retired:          wc.Retired,
 		})
 	}

@@ -14,29 +14,58 @@
 // Besides the per-module endpoints the server exposes the whole-cell
 // control plane a fleet scheduler uses:
 //
-//	GET  /healthz  liveness, module set, current session
+//	GET  /healthz  liveness, module set, capabilities, current session
 //	POST /reset    start a new session: fresh plate stock and reservoirs,
 //	               new server-side command log ({"campaign": "c01"} labels it)
 //	GET  /session  the current session's command log
+//
+// A workcell can announce itself to an elastic fleet's control listener
+// (cmd/fleet -join-listen) instead of being listed on the fleet's command
+// line:
+//
+//	workcell -listen :2000 -name cell-a -announce http://fleethost:2200
+//
+// and for churn/fault-injection testing the whole server can be made to
+// misbehave probabilistically:
+//
+//	workcell -listen :2000 -chaos 0.05
+//
+// which crashes, hangs, or slow-answers ~5% of requests (split evenly), the
+// control plane included — what a flaky device computer looks like from the
+// fleet side. -chaos-slow/-chaos-hang tune the delays, -chaos-seed makes
+// the misbehavior stream reproducible.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"colormatch/internal/core"
+	"colormatch/internal/fleet"
 	"colormatch/internal/wei"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":2000", "HTTP listen address")
-		seed     = flag.Int64("seed", 1, "workcell simulation seed")
-		realtime = flag.Bool("realtime", false, "run instruments on the wall clock")
-		numOT2   = flag.Int("ot2s", 1, "number of liquid-handler modules")
-		stock    = flag.Int("plates", 10, "plate stock in the storage towers")
+		listen    = flag.String("listen", ":2000", "HTTP listen address")
+		seed      = flag.Int64("seed", 1, "workcell simulation seed")
+		realtime  = flag.Bool("realtime", false, "run instruments on the wall clock")
+		numOT2    = flag.Int("ot2s", 1, "number of liquid-handler modules")
+		stock     = flag.Int("plates", 10, "plate stock in the storage towers")
+		name      = flag.String("name", "", "cell name announced to the fleet (default: fleet-assigned)")
+		announce  = flag.String("announce", "", "fleet control listener base URL to join (e.g. http://fleethost:2200)")
+		advertise = flag.String("advertise", "", "own base URL the fleet should dial back (default http://127.0.0.1:<listen port>)")
+		chaosP    = flag.Float64("chaos", 0, "probability a request misbehaves (split evenly across crash/hang/slow)")
+		chaosSlow = flag.Duration("chaos-slow", 2*time.Second, "slow-answer delay under -chaos")
+		chaosHang = flag.Duration("chaos-hang", 30*time.Second, "hang duration under -chaos")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos misbehavior stream seed")
 	)
 	flag.Parse()
 
@@ -50,15 +79,90 @@ func main() {
 	// Each /reset provisions a fresh workcell — full plate towers, filled
 	// reservoirs, cleared device state — so every campaign starts from the
 	// same stock the previous one did.
-	srv := wei.NewWorkcellServer(wc.Registry, wei.ServerOptions{
+	ws := wei.NewWorkcellServer(wc.Registry, wei.ServerOptions{
 		Reset: func() (*wei.Registry, error) {
 			return core.NewSimWorkcell(opts).Registry, nil
 		},
+		Caps: wei.Capabilities{
+			Lanes:    *numOT2,
+			OT2s:     *numOT2,
+			Realtime: *realtime,
+			Camera:   true,
+		},
 	})
+
+	handler := ws.Handler()
+	if *chaosP > 0 {
+		plan := wei.ChaosPlan{
+			PCrash: *chaosP / 3, PHang: *chaosP / 3, PSlow: *chaosP / 3,
+			SlowFor: *chaosSlow, HangFor: *chaosHang, Seed: *chaosSeed,
+		}
+		handler = wei.ChaosMiddleware(plan, handler)
+		fmt.Printf("workcell: chaos enabled (p=%.3f: crash/hang/slow %.3f each)\n",
+			*chaosP, *chaosP/3)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM (mirroring cmd/portal): stop
+	// accepting, let in-flight commands finish, and tell the fleet we are
+	// leaving so it deregisters us instead of probing a corpse.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if *announce != "" && *name != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := fleet.Leave(ctx, *announce, *name); err != nil {
+				fmt.Fprintln(os.Stderr, "workcell: leave:", err)
+			}
+			cancel()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}()
+
+	if *announce != "" {
+		self := *advertise
+		if self == "" {
+			self = selfURL(*listen)
+		}
+		// Join after a short delay so the listener below is accepting by the
+		// time the fleet probes back. A join before the fleet is up is not
+		// fatal: the fleet can also be pointed at this cell by URL.
+		go func() {
+			time.Sleep(200 * time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := fleet.Announce(ctx, *announce, *name, self); err != nil {
+				fmt.Fprintln(os.Stderr, "workcell: announce:", err)
+				return
+			}
+			fmt.Printf("workcell: announced %s to fleet at %s\n", self, *announce)
+		}()
+	}
+
 	fmt.Printf("workcell: serving modules %v on %s (realtime=%v)\n",
 		wc.Registry.Names(), *listen, *realtime)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "workcell:", err)
 		os.Exit(1)
 	}
+}
+
+// selfURL derives the URL a fleet on another host could dial back from the
+// listen address; a bare ":2000" maps to loopback, which only works for
+// same-host fleets — set -advertise for anything real.
+func selfURL(listen string) string {
+	if len(listen) > 0 && listen[0] == ':' {
+		return "http://127.0.0.1" + listen
+	}
+	return "http://" + listen
 }

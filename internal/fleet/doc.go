@@ -1,28 +1,76 @@
 // Package fleet schedules many independent color-matching campaigns across
-// a pool of workcells — the scale/throughput layer the paper's benchmark
-// framing calls for: "stress self-driving-lab infrastructure" with many
-// campaigns, many workcells, and measured throughput.
+// an elastic pool of workcells — the scale/throughput layer the paper's
+// benchmark framing calls for: "stress self-driving-lab infrastructure"
+// with many campaigns, many workcells, and measured throughput.
 //
 // # Model
 //
 // A Campaign is one closed-loop color-matching experiment (a core.Config
-// plus a solver choice and seed). Run draws M pool members from a
-// WorkcellProvider and starts one worker per cell. By default the provider
-// builds M in-process simulated workcells, each with its own virtual
-// clock, world, instrument modules and long-lived WEI engine;
-// NewRemoteProvider instead opens one cell per cmd/workcell-style HTTP
-// server URL, health-gating admission on /healthz and resetting the server
-// session (fresh plate stock, new command-log boundary) before every
-// campaign. Workers pull campaigns from a shared FIFO queue —
-// work-stealing in the sense that the next free workcell takes the next
-// queued campaign, so a slow campaign on one cell never blocks the rest of
-// the fleet.
+// plus a solver choice, seed, and optional capability requirements). Run
+// executes the campaign queue against a pool of cells owned by a Registry —
+// the fleet's control plane. By default Run builds its own registry from a
+// WorkcellProvider: M in-process simulated workcells, each with its own
+// virtual clock, world, instrument modules and long-lived WEI engine (or,
+// via NewRemoteProvider, one cell per cmd/workcell-style HTTP server URL).
+// With Options.Registry the caller supplies the control plane instead, and
+// the pool becomes elastic: cells join and leave while the run is in
+// flight.
 //
-// Per campaign, the worker forks the workcell engine with a fresh event log
-// (wei.Engine.WithLog), builds a fresh solver from the campaign's seed, and
-// runs core.RunCampaign. Solver proposals route through the
-// solver.BatchProposer seam: batch-aware solvers are asked for k ratios at
-// once and the batch fans out across the plate's wells.
+// Workers pull campaigns from a shared FIFO queue — work-stealing in the
+// sense that the next free workcell takes the next queued campaign it is
+// capable of running, so a slow campaign on one cell never blocks the rest
+// of the fleet. Per campaign, the worker forks the workcell engine with a
+// fresh event log (wei.Engine.WithLog), builds a fresh solver from the
+// campaign's seed, and runs core.RunCampaign. Solver proposals route
+// through the solver.BatchProposer seam: batch-aware solvers are asked for
+// k ratios at once and the batch fans out across the plate's wells.
+//
+// # The elastic control plane
+//
+// A Registry owns the live cell set. Cells are admitted programmatically
+// (Add, AddRemote) or over HTTP (JoinHandler serves POST /join and /leave
+// and GET /members; cmd/workcell -announce is the client side, via
+// Announce/Leave). The scheduler subscribes to membership events and turns
+// them into workers: an admission spawns a worker on the cell, a
+// deregistration decommissions the worker after its in-flight campaign.
+//
+// Every member walks the admission lifecycle
+//
+//	join ──▶ up ──fault──▶ suspect ──▶ down ──▶ gone (give-up / deregister)
+//	          ▲                │         │
+//	          │                └──ok──▶ probation ──ok×N──▶ re-admit (up)
+//	          └────────────────────────────┘
+//
+// When a cell faults (open failure, transport death mid-campaign, sick-cell
+// retirement) the registry starts a health prober: periodic wei-client
+// /healthz checks with a per-probe timeout, exponential backoff capped at
+// MaxProbeInterval, and jitter so a fleet of probers never synchronizes
+// against a recovering server. RegistryOptions.SuspectProbes failures
+// demote suspect to down; once a probe answers, the member needs
+// ProbationProbes consecutive successes to be re-admitted, so one lucky
+// packet cannot flap the pool. A member down longer than MaxDowntime is
+// given up as gone. Only "gone" is terminal — a retired remote cell whose
+// server answers /healthz again is re-admitted and its worker resumes
+// pulling queued campaigns. Members registered without a probe (the static
+// local pool) keep the old policy: a fault is final.
+//
+// Cells advertise Capabilities (lanes, liquid-handler count, realtime vs
+// simulated, camera) in their /healthz payload; probes refresh them on
+// every success. A Campaign with Requires set is only dispatched to members
+// whose advertised capabilities satisfy it (unknown-capability members
+// accept everything), and a campaign no live-or-recovering member could
+// ever satisfy fails fast instead of queueing forever.
+//
+// # Churn harness
+//
+// ChurnPool runs N in-process workcell HTTP servers that can be killed and
+// restarted — on command (Kill/Restart), deterministically mid-campaign
+// (KillAfterActions), or on a ParseChurn schedule — without losing their
+// addresses, so the prober's re-admission path is exercised for real. It
+// backs the churning-fleet benchmark (cmd/fleet -churn-cells) and the
+// re-admission integration tests. For probabilistic misbehavior,
+// wei.ChaosMiddleware (cmd/workcell -chaos) crashes, hangs or slow-answers
+// a fraction of requests.
 //
 // # Lanes
 //
@@ -49,7 +97,8 @@
 // of every campaign's virtual duration (what one workcell would have
 // taken); Speedup is their ratio. Per-campaign Table 1 summaries aggregate
 // through metrics.Aggregate, and fault counts come from each workcell's
-// sim.Injector.
+// sim.Injector. A cell's WorkcellStats accumulate across re-admissions
+// (Admissions counts them; Result.Readmissions totals the rejoins).
 //
 // # Failure and cancellation
 //
@@ -63,9 +112,12 @@
 // workcell: the cell retires and the campaign requeues onto a healthy one,
 // up to Options.MaxAttempts attempts (default 2); when the budget is
 // exhausted on a second cell the blame shifts to the campaign itself, so
-// it is recorded as failed without retiring that cell. When the last
-// workcell retires, the remaining queue drains as failures rather than
-// deadlocking. Canceling the context stops new dispatch and aborts running
-// campaigns at their next workflow-step boundary; Run then returns the
-// partial Result alongside the context error.
+// it is recorded as failed without retiring that cell. Retirement is a
+// state, not a death sentence: a probed cell that recovers re-admits and
+// keeps working. When every member is gone — or none is up and
+// RegistryOptions.JoinGrace expires without a (re)join — the remaining
+// queue drains as failures rather than deadlocking. Canceling the context
+// stops new dispatch and aborts running campaigns at their next
+// workflow-step boundary; Run then returns the partial Result alongside
+// the context error.
 package fleet

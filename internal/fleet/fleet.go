@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colormatch/internal/core"
@@ -34,6 +35,13 @@ type Campaign struct {
 	// Solver names the decision procedure: genetic|genetic-grid|bayesian|
 	// random|grid (default genetic). Options.NewSolver overrides the lookup.
 	Solver string
+	// Requires constrains placement: the campaign only runs on cells whose
+	// advertised capabilities satisfy it (e.g. Camera: true never lands on a
+	// camera-less cell, Realtime: true never lands on a virtual-clock one).
+	// Cells that advertise nothing accept every campaign. The zero value is
+	// unconstrained. A campaign no cell in the fleet could ever satisfy fails
+	// fast instead of queueing forever.
+	Requires wei.Capabilities
 	// Config is the experiment configuration (batch size, sample budget,
 	// target). Options.Batch overrides Config.BatchSize when set.
 	Config core.Config
@@ -105,6 +113,15 @@ type Options struct {
 	// favor of the provider's own configuration; Seed still derives the
 	// campaigns' solver seeds.
 	Provider WorkcellProvider
+	// Registry, when set, replaces the fixed pool with the elastic control
+	// plane: Run draws its workers from the registry's membership events —
+	// cells admitted mid-run (programmatic Add/AddRemote or the POST /join
+	// listener) start pulling queued campaigns, faulted cells are probed and
+	// re-admitted when they answer again, deregistered cells finish their
+	// current campaign and stop. Provider and the local-pool knobs are
+	// ignored. The caller owns the registry: Run subscribes for its duration
+	// and does not close it.
+	Registry *Registry
 }
 
 // flushRetryDelay is the real-time pause between failed campaign-flush
@@ -165,6 +182,12 @@ type CampaignResult struct {
 // WorkcellStats describes one workcell's share of the fleet run.
 type WorkcellStats struct {
 	Index int
+	// Name is the cell's registry name ("cellN" for fixed pools).
+	Name string
+	// Admissions counts how many times the cell was admitted to the pool:
+	// 1 for a cell that never faulted, +1 for every health-probe
+	// re-admission after a fault.
+	Admissions int
 	// Lanes is the cell's concurrent-campaign capacity K.
 	Lanes int
 	// Campaigns counts campaign attempts executed here, including failures.
@@ -184,7 +207,8 @@ type WorkcellStats struct {
 	Utilization float64
 	// Faults counts commands the cell's injector failed.
 	Faults int
-	// Retired reports the cell left the pool after a hard failure.
+	// Retired reports the cell was out of the pool after a hard failure when
+	// the run ended (a re-admitted cell ends with Retired false).
 	Retired bool
 }
 
@@ -201,6 +225,9 @@ type Result struct {
 	Samples int
 	// Faults is the total number of injected command faults.
 	Faults int
+	// Readmissions counts cells rejoining the pool after a fault: the sum
+	// over cells of admissions beyond the first. Zero on a churn-free run.
+	Readmissions int
 	// Makespan is the busiest workcell's virtual time — the fleet's
 	// wall-clock on the experiment clock.
 	Makespan time.Duration
@@ -237,50 +264,75 @@ type task struct {
 	// short by a dying workcell are not charged, so a campaign keeps its
 	// full MaxAttempts budget of genuine tries.
 	charged int
+	// bounces counts uncharged requeues (cell deaths, prepare failures,
+	// handbacks). With re-admission a flapping cell could otherwise bounce
+	// one campaign forever; past maxBounces the campaign fails.
+	bounces int
 }
 
-// dispatcher is the work queue: the next free workcell pulls the next
-// queued campaign. It tracks outstanding (un-finalized) tasks so idle
-// workers keep waiting while a running campaign might still be requeued,
-// and healthy workers so the queue fails fast once every workcell retired.
+// maxBounces is the safety valve on uncharged requeues per campaign: far
+// above what any real churn produces, low enough that a cell dying every
+// campaign cannot loop the scheduler forever.
+const maxBounces = 64
+
+// dispatcher is the work queue: the next free worker pulls the first queued
+// campaign its cell's capabilities can serve. It tracks outstanding
+// (un-finalized) tasks so idle workers keep waiting while a running campaign
+// might still be requeued. The worker set itself is elastic — membership is
+// the registry's truth, and the run's monitor drains the queue when no cell
+// is left to ever serve it (drain mode is sticky: requeues after the drain
+// fail immediately instead of waiting for a pool that will not return).
 type dispatcher struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	queue       []*task
 	outstanding int
-	workers     int
+	draining    bool
+	// done closes when every task is finalized — the run's completion
+	// signal.
+	done chan struct{}
 }
 
-func newDispatcher(tasks []*task, workers int) *dispatcher {
-	d := &dispatcher{queue: tasks, outstanding: len(tasks), workers: workers}
+func newDispatcher(tasks []*task) *dispatcher {
+	d := &dispatcher{
+		queue:       append([]*task(nil), tasks...),
+		outstanding: len(tasks),
+		done:        make(chan struct{}),
+	}
 	d.cond = sync.NewCond(&d.mu)
+	if d.outstanding == 0 {
+		close(d.done)
+	}
 	return d
 }
 
-// next blocks until a campaign is available and returns it, or returns nil
-// once no task can ever arrive (all finalized or every workcell retired).
-func (d *dispatcher) next() *task {
+// next blocks until a campaign this worker can serve is available and
+// returns it, or returns nil once the worker should exit: stopped (its cell
+// retired or was decommissioned) or no task can ever arrive (all finalized).
+func (d *dispatcher) next(stopped func() bool, eligible func(*task) bool) *task {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.queue) == 0 && d.outstanding > 0 {
+	for {
+		if stopped() || d.outstanding == 0 {
+			return nil
+		}
+		for i, t := range d.queue {
+			if eligible(t) {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				return t
+			}
+		}
 		d.cond.Wait()
 	}
-	if len(d.queue) == 0 {
-		return nil
-	}
-	t := d.queue[0]
-	d.queue = d.queue[1:]
-	return t
 }
 
-// requeue returns an untouched task to the queue — used by a lane that
-// popped a task after a sibling lane retired their shared cell. It reports
-// false when no healthy cell remains to pick the task up; the caller then
-// records the task itself (its outstanding count is still held).
-func (d *dispatcher) requeue(t *task) bool {
+// push requeues a task for another worker. It reports false in drain mode —
+// no cell is left to pick the task up; the caller then records the task
+// itself (its outstanding count is still held).
+func (d *dispatcher) push(t *task) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.workers <= 0 {
+	if d.draining {
 		return false
 	}
 	d.queue = append(d.queue, t)
@@ -292,34 +344,47 @@ func (d *dispatcher) requeue(t *task) bool {
 func (d *dispatcher) finalize() {
 	d.mu.Lock()
 	d.outstanding--
-	if d.outstanding <= 0 {
+	if d.outstanding == 0 {
+		close(d.done)
 		d.cond.Broadcast()
 	}
 	d.mu.Unlock()
 }
 
-// fail handles a hard failure of t on a workcell, which retires. When t has
-// attempts left and healthy workcells remain it is requeued (requeued=true);
-// otherwise the caller finalizes it as failed. If this was the last healthy
-// workcell, the still-queued tasks are returned as orphans for the caller to
-// record as failures — their outstanding count is already released.
-func (d *dispatcher) fail(t *task, retry bool) (requeued bool, orphans []*task) {
+// drainQueued enters drain mode and pops every queued task for the caller
+// to record; subsequent pushes fail so in-flight campaigns on their way
+// back to the queue fail with their own error instead of waiting forever.
+func (d *dispatcher) drainQueued() []*task {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.workers--
-	if retry && d.workers > 0 {
-		d.queue = append(d.queue, t)
-		d.cond.Broadcast()
-		return true, nil
-	}
-	if d.workers <= 0 {
-		orphans = d.queue
-		d.queue = nil
-		d.outstanding -= len(orphans)
-	}
+	d.draining = true
+	out := d.queue
+	d.queue = nil
 	d.cond.Broadcast()
-	return false, orphans
+	return out
 }
+
+// reap pops the queued tasks matching pred — the monitor's tool for failing
+// campaigns no remaining cell could ever serve, without draining the rest.
+func (d *dispatcher) reap(pred func(*task) bool) []*task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []*task
+	kept := d.queue[:0]
+	for _, t := range d.queue {
+		if pred(t) {
+			out = append(out, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	d.queue = kept
+	return out
+}
+
+// wake re-checks every blocked worker's exit condition (cell retirement,
+// decommission).
+func (d *dispatcher) wake() { d.cond.Broadcast() }
 
 // defaultSolver is the built-in SolverFactory covering the repo's black-box
 // decision procedures. The analytic oracle needs the forward mixing model;
@@ -361,19 +426,39 @@ func plateDemand(campaigns []Campaign, lanes int) int {
 	return plates + 1 + lanes
 }
 
+// slotInfo is one registry member's stable reporting slot: slot indexes are
+// assigned in first-admission order (registration order for fixed pools) and
+// survive re-admissions, so a cell's stats accumulate across its pool
+// tenures. The mutex guards stats and clock between the member's workers
+// (a re-admitted member's new worker can overlap the old one's teardown).
+type slotInfo struct {
+	mu    sync.Mutex
+	stats WorkcellStats
+	clock sim.Clock
+}
+
 // Run executes the campaigns across a pool of workcells — opts.Workcells
-// in-process simulated cells by default, or whatever opts.Provider supplies
-// (e.g. remote cells over HTTP) — and blocks until every campaign completed,
-// failed, or was canceled. On context cancellation it drains — running
-// campaigns stop at their next workflow-step boundary — and returns the
-// partial Result together with the context's error.
+// in-process simulated cells by default, whatever opts.Provider supplies
+// (e.g. remote cells over HTTP), or the elastic opts.Registry membership —
+// and blocks until every campaign completed, failed, or was canceled. On
+// context cancellation it drains — running campaigns stop at their next
+// workflow-step boundary — and returns the partial Result together with the
+// context's error.
+//
+// The pool is dynamic underneath in every mode: fixed pools are adapted
+// into registry members whose faults are final (today's retire-for-good
+// policy), while a caller registry's members are health-probed after faults
+// and re-admitted when they answer again — a worker is spawned per
+// admission, so a recovered cell resumes pulling queued campaigns. Queued
+// campaigns wait while any member might return (suspect/down/probation) and
+// fail fast once none can (all gone, bounded by RegistryOptions.MaxDowntime).
 //
 // Failure policy, driven by wei.Classify on a campaign's step error:
 // permanent errors (unknown module/action — a poisoned campaign config that
 // would fail anywhere) fail the campaign in one scheduling attempt and the
 // cell stays in the pool; workcell-down errors (unreachable or hung module
-// server) retire the cell and requeue the campaign without burning one of
-// its MaxAttempts; exhausted retries on transient faults retire the cell
+// server) fault the cell and requeue the campaign without burning one of
+// its MaxAttempts; exhausted retries on transient faults fault the cell
 // under the sick-cell heuristic, shifting blame to the campaign once its
 // attempt budget is spent across different cells.
 func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, error) {
@@ -389,26 +474,48 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 	if opts.NewSolver == nil {
 		opts.NewSolver = defaultSolver
 	}
-	prov := opts.Provider
-	if prov == nil {
-		if opts.Workcells < 1 {
-			return nil, fmt.Errorf("fleet: need at least one workcell, got %d", opts.Workcells)
+
+	reg := opts.Registry
+	ownReg := reg == nil
+	if ownReg {
+		// Fixed pool: adapt the provider's cells into registry members with
+		// no health probe, so a fault is final and the behavior of provider
+		// pools is unchanged.
+		prov := opts.Provider
+		if prov == nil {
+			if opts.Workcells < 1 {
+				return nil, fmt.Errorf("fleet: need at least one workcell, got %d", opts.Workcells)
+			}
+			stock := opts.PlateStock
+			if stock == 0 {
+				stock = plateDemand(campaigns, opts.LanesPerCell)
+			}
+			prov = &localProvider{opts: opts, stock: stock, lanes: opts.LanesPerCell}
 		}
-		stock := opts.PlateStock
-		if stock == 0 {
-			stock = plateDemand(campaigns, opts.LanesPerCell)
+		pool := prov.Count()
+		if pool < 1 {
+			return nil, fmt.Errorf("fleet: provider supplies no workcells")
 		}
-		prov = &localProvider{opts: opts, stock: stock, lanes: opts.LanesPerCell}
+		reg = NewRegistry(RegistryOptions{Seed: opts.Seed})
+		defer reg.Close()
+		adv, _ := prov.(CapabilityAdvertiser)
+		for w := 0; w < pool; w++ {
+			w := w
+			spec := MemberSpec{
+				Name: fmt.Sprintf("cell%d", w),
+				Open: func(ctx context.Context) (Cell, error) { return prov.Open(ctx, w) },
+			}
+			if adv != nil {
+				spec.Caps, spec.CapsKnown = adv.Capabilities(w)
+			}
+			if _, err := reg.Add(spec); err != nil {
+				return nil, err
+			}
+		}
 	}
-	pool := prov.Count()
-	if pool < 1 {
-		return nil, fmt.Errorf("fleet: provider supplies no workcells")
-	}
-	opts.Workcells = pool
 
 	res := &Result{
 		Campaigns: make([]CampaignResult, len(campaigns)),
-		Workcells: make([]WorkcellStats, pool),
 		Lanes:     opts.LanesPerCell,
 	}
 	// dest is the publish destination every campaign and the fleet summary
@@ -436,87 +543,201 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 		res.Campaigns[i] = CampaignResult{Campaign: c}
 	}
 
-	d := newDispatcher(tasks, pool)
+	d := newDispatcher(tasks)
 	var (
 		resMu  sync.Mutex // guards res.Campaigns writes across workers
 		wg     sync.WaitGroup
-		clocks = make([]sim.Clock, pool)
+		slots  []*slotInfo // in first-admission order; monitor-owned until wg.Wait
+		slotBy = make(map[string]*slotInfo)
 	)
 	record := func(t *task, r CampaignResult) {
 		resMu.Lock()
 		res.Campaigns[t.idx] = r
 		resMu.Unlock()
 	}
-	// recordOrphans marks the still-queued tasks stranded by the last
-	// healthy workcell's retirement — as canceled when the fleet context is
-	// what actually stopped them, as failures otherwise.
-	recordOrphans := func(orphans []*task, cause error) {
-		status, err := StatusFailed, fmt.Errorf("fleet: no healthy workcell left: %w", cause)
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			status, err = StatusCanceled, ctxErr
+
+	// runMember is one worker: the lifetime of one member admission. It opens
+	// the member's cell, drains the queue through the cell's lanes, and on a
+	// hard failure reports the fault back to the registry — which either
+	// starts probing toward re-admission (probed members) or removes the
+	// member for good (fixed pools).
+	runMember := func(ev memberEvent, slot *slotInfo) {
+		defer wg.Done()
+		m := ev.m
+		var halted atomic.Bool
+		reg.bindWorker(m.name, func() { halted.Store(true); d.wake() })
+		defer reg.unbindWorker(m.name)
+
+		cell, err := m.open(ctx)
+		if err != nil {
+			// The cell did not make it into service (unreachable remote,
+			// failed admission health check): fault it before it ran
+			// anything; the remaining cells absorb the queue.
+			slot.mu.Lock()
+			slot.stats.Retired = true
+			slot.mu.Unlock()
+			reg.Fault(m.name, err)
+			return
 		}
-		for _, o := range orphans {
-			record(o, CampaignResult{Campaign: o.c, Status: status, Workcell: -1,
-				Attempts: o.attempts, Err: err})
+		defer cell.Close()
+		slot.mu.Lock()
+		slot.clock = cell.Clock()
+		slot.mu.Unlock()
+
+		lanes := 1
+		var laned Laned
+		if lc, ok := cell.(Laned); ok && lc.Lanes() > 1 {
+			laned, lanes = lc, lc.Lanes()
 		}
+		slot.mu.Lock()
+		slot.stats.Lanes = lanes
+		slot.mu.Unlock()
+
+		cr := &cellRun{
+			ctx: ctx, d: d, cell: cell, w: slot.stats.Index, lanes: lanes,
+			slot: slot, dest: dest, opts: opts,
+			caps: ev.caps, capsKnown: ev.capsKnown,
+			record: record, halted: &halted,
+			onRetire: func(cause error) { reg.Fault(m.name, cause) },
+		}
+		var lwg sync.WaitGroup
+		for l := 0; l < lanes; l++ {
+			lwg.Add(1)
+			go func(l int) {
+				defer lwg.Done()
+				var setup LaneSetup
+				if laned != nil {
+					setup = laned.Lane(l)
+				}
+				cr.lane(l, setup)
+			}(l)
+		}
+		lwg.Wait()
+		cr.mu.Lock()
+		var span time.Duration
+		if cr.spanSet {
+			span = cr.spanEnd.Sub(cr.spanStart)
+		}
+		cr.mu.Unlock()
+		slot.mu.Lock()
+		slot.stats.Busy += span
+		slot.stats.Faults += cell.Engine().Faults.Total()
+		slot.mu.Unlock()
 	}
 
-	for w := 0; w < pool; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			stats := &res.Workcells[w]
-			stats.Index = w
-			stats.Lanes = 1
-
-			cell, err := prov.Open(ctx, w)
-			if err != nil {
-				// The cell never joined the pool (unreachable remote,
-				// failed admission health check): retire it before it ran
-				// anything; the remaining cells absorb the queue.
-				stats.Retired = true
-				_, orphans := d.fail(nil, false)
-				recordOrphans(orphans, err)
+	// The monitor turns membership events into workers and keeps the queue
+	// honest: spawn a worker per admission, fail campaigns no remaining cell
+	// could serve, and drain the queue when the pool is empty for good (or
+	// the run is canceled with no worker left to drain it).
+	sub := reg.subscribe()
+	evCh := make(chan memberEvent)
+	go func() {
+		for {
+			ev, ok := sub.next()
+			if !ok {
+				close(evCh)
 				return
 			}
-			defer cell.Close()
-			clocks[w] = cell.Clock()
-			eng := cell.Engine()
-
-			lanes := 1
-			var laned Laned
-			if lc, ok := cell.(Laned); ok && lc.Lanes() > 1 {
-				laned, lanes = lc, lc.Lanes()
+			evCh <- ev
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastCause := fmt.Errorf("fleet: pool is empty")
+		var graceCh <-chan time.Time
+		ctxDone := ctx.Done()
+		drain := func(cause error) {
+			for _, t := range d.drainQueued() {
+				status := StatusFailed
+				err := error(fmt.Errorf("fleet: no healthy workcell left: %w", cause))
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					status, err = StatusCanceled, ctxErr
+				}
+				record(t, CampaignResult{Campaign: t.c, Status: status, Workcell: -1,
+					Attempts: t.attempts, Err: err})
+				d.finalize()
 			}
-			stats.Lanes = lanes
-
-			cr := &cellRun{
-				ctx: ctx, d: d, cell: cell, w: w, lanes: lanes,
-				stats: stats, dest: dest, opts: opts,
-				record: record, recordOrphans: recordOrphans,
+		}
+		// checkPool reacts to a membership loss: reap now-unservable
+		// campaigns while cells remain, drain everything once none might
+		// come back — after RegistryOptions.JoinGrace when the run tolerates
+		// an initially (or transiently) empty registry.
+		checkPool := func() {
+			if reg.Alive() > 0 {
+				graceCh = nil
+				for _, t := range d.reap(func(t *task) bool { return !reg.AnyoneCould(t.c.Requires) }) {
+					record(t, CampaignResult{Campaign: t.c, Status: StatusFailed,
+						Workcell: -1, Attempts: t.attempts,
+						Err: fmt.Errorf("fleet: no workcell can satisfy campaign %s requirements", t.c.Name)})
+					d.finalize()
+				}
+				return
 			}
-			var lwg sync.WaitGroup
-			for l := 0; l < lanes; l++ {
-				lwg.Add(1)
-				go func(l int) {
-					defer lwg.Done()
-					var setup LaneSetup
-					if laned != nil {
-						setup = laned.Lane(l)
+			if grace := reg.opts.JoinGrace; grace > 0 && ctx.Err() == nil {
+				if graceCh == nil {
+					graceCh = time.After(grace)
+				}
+				return
+			}
+			drain(lastCause)
+		}
+		checkPool()
+		for {
+			select {
+			case ev, ok := <-evCh:
+				if !ok {
+					return
+				}
+				switch ev.kind {
+				case evAdmit:
+					graceCh = nil
+					slot := slotBy[ev.m.name]
+					if slot == nil {
+						slot = &slotInfo{stats: WorkcellStats{
+							Index: len(slots), Name: ev.m.name, Lanes: 1,
+						}}
+						slotBy[ev.m.name] = slot
+						slots = append(slots, slot)
 					}
-					cr.lane(l, setup)
-				}(l)
+					slot.mu.Lock()
+					slot.stats.Admissions++
+					slot.stats.Retired = false
+					slot.mu.Unlock()
+					wg.Add(1)
+					go runMember(ev, slot)
+				case evLeave:
+					if ev.err != nil {
+						lastCause = ev.err
+					}
+					checkPool()
+				}
+			case <-graceCh:
+				graceCh = nil
+				if reg.Alive() == 0 {
+					drain(lastCause)
+				}
+			case <-ctxDone:
+				// Canceled with zero live workers nothing would drain the
+				// queue; with workers alive they record their own tasks as
+				// canceled and this drain just beats them to the queued ones.
+				ctxDone = nil
+				drain(ctx.Err())
 			}
-			lwg.Wait()
-			cr.mu.Lock()
-			if cr.spanSet {
-				stats.Busy = cr.spanEnd.Sub(cr.spanStart)
-			}
-			cr.mu.Unlock()
-			stats.Faults = eng.Faults.Total()
-		}(w)
-	}
+		}
+	}()
+
+	<-d.done
+	reg.unsubscribe(sub)
 	wg.Wait()
+
+	res.Workcells = make([]WorkcellStats, len(slots))
+	clocks := make([]sim.Clock, len(slots))
+	for i, s := range slots {
+		res.Workcells[i] = s.stats
+		clocks[i] = s.clock
+	}
+	opts.Workcells = len(slots)
 
 	finish(res, campaigns, opts, clocks, dest)
 	res.Store = store
@@ -526,54 +747,73 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 // cellRun is the state one cell's lanes share while draining the queue:
 // the retirement flag (a cell retires once, whichever lane discovers the
 // failure first) and the busy-span accounting that keeps overlapped lane
-// time from being double-counted.
+// time from being double-counted. One cellRun spans one admission; a
+// re-admitted member gets a fresh cellRun folding into the same slot.
 type cellRun struct {
 	ctx   context.Context
 	d     *dispatcher
 	cell  Cell
 	w     int
 	lanes int
-	stats *WorkcellStats
+	slot  *slotInfo
 	dest  portal.Ingestor
 	opts  Options
 
-	record        func(*task, CampaignResult)
-	recordOrphans func([]*task, error)
+	// caps is the member's advertised capability set at admission; with
+	// capsKnown the cell only pulls campaigns it satisfies.
+	caps      wei.Capabilities
+	capsKnown bool
 
+	record func(*task, CampaignResult)
+	// onRetire reports the cell's hard failure to the registry exactly once
+	// (the winner of retire() calls it): probed members go suspect and work
+	// toward re-admission, fixed-pool members are gone for good.
+	onRetire func(error)
+	// halted is the decommission flag: the registry's Deregister/Close stops
+	// this worker after its current campaign.
+	halted *atomic.Bool
+
+	retired   atomic.Bool
 	mu        sync.Mutex
-	retired   bool
 	spanSet   bool
 	spanStart time.Time
 	spanEnd   time.Time
 }
 
-func (c *cellRun) isRetired() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.retired
+// stopped is the lanes' exit condition: the cell hard-failed or was
+// decommissioned.
+func (c *cellRun) stopped() bool {
+	return c.retired.Load() || c.halted.Load()
 }
 
-// retire marks the cell retired, reporting whether this caller performed the
-// retirement (and therefore owns the dispatcher's worker decrement). Sibling
-// lanes racing into their own hard failures requeue instead of failing the
-// cell twice.
+// eligible reports whether this cell can serve t's capability requirements.
+func (c *cellRun) eligible(t *task) bool {
+	return !c.capsKnown || c.caps.Satisfies(t.c.Requires)
+}
+
+// retire marks the cell retired, reporting whether this caller performed
+// the retirement (and therefore owes the registry the fault report).
+// Sibling lanes racing into their own hard failures requeue instead of
+// failing the cell twice.
 func (c *cellRun) retire() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.retired {
+	if !c.retired.CompareAndSwap(false, true) {
 		return false
 	}
-	c.retired = true
-	c.stats.Retired = true
+	c.slot.mu.Lock()
+	c.slot.stats.Retired = true
+	c.slot.mu.Unlock()
+	c.d.wake()
 	return true
 }
 
 // note folds one finished campaign attempt into the cell's stats.
 func (c *cellRun) note(start, end time.Time, cres CampaignResult) {
+	c.slot.mu.Lock()
+	c.slot.stats.Campaigns++
+	c.slot.stats.Work += cres.Wall
+	c.slot.stats.QueueWait += cres.QueueWait
+	c.slot.mu.Unlock()
 	c.mu.Lock()
-	c.stats.Campaigns++
-	c.stats.Work += cres.Wall
-	c.stats.QueueWait += cres.QueueWait
 	if !c.spanSet || start.Before(c.spanStart) {
 		c.spanStart = start
 		c.spanSet = true
@@ -584,38 +824,40 @@ func (c *cellRun) note(start, end time.Time, cres CampaignResult) {
 	c.mu.Unlock()
 }
 
-// lane drains the queue as lane l of the cell: pull the next campaign, run
-// it under the lane's setup, apply the failure policy, repeat until the
-// queue is exhausted or the cell retires. With several lanes the loop
-// registers itself as a virtual-clock worker only while a campaign runs, so
-// an idle lane blocked on the queue never stalls the cell's clock.
+// lane drains the queue as lane l of the cell: pull the next campaign this
+// cell can serve, run it under the lane's setup, apply the failure policy,
+// repeat until the queue is exhausted, the cell retires, or the worker is
+// decommissioned. With several lanes the loop registers itself as a
+// virtual-clock worker only while a campaign runs, so an idle lane blocked
+// on the queue never stalls the cell's clock.
 func (c *cellRun) lane(l int, setup LaneSetup) {
 	ctx := c.ctx
 	var sc *sim.SimClock
 	if c.lanes > 1 {
 		sc, _ = c.cell.Clock().(*sim.SimClock)
 	}
-	// requeueOrRecord hands a task to another cell, or records it when this
-	// was the last one standing.
+	// requeueOrRecord hands a task back to the queue for another cell (or a
+	// re-admitted one), recording it here when the queue is draining — no
+	// cell will ever pick it up — or when the task has bounced between dying
+	// cells past any plausible churn.
 	requeueOrRecord := func(t *task, cres CampaignResult) {
-		if !c.d.requeue(t) {
+		t.bounces++
+		if t.bounces > maxBounces || !c.d.push(t) {
 			c.record(t, cres)
 			c.d.finalize()
 		}
 	}
 	for {
-		if c.isRetired() {
-			return
-		}
-		t := c.d.next()
+		t := c.d.next(c.stopped, c.eligible)
 		if t == nil {
 			return
 		}
-		if c.isRetired() {
-			// A sibling lane retired the cell while this lane was blocked in
-			// next(): hand the untouched task back. If no cell is left it is
-			// recorded like the orphans the sibling stranded — canceled when
-			// the fleet context is what actually stopped it.
+		if c.stopped() {
+			// A sibling lane retired the cell (or it was decommissioned)
+			// while this lane was popping: hand the untouched task back. If
+			// the queue is already draining it is recorded like the tasks
+			// stranded there — canceled when the fleet context is what
+			// actually stopped it.
 			status, cause := StatusFailed, error(fmt.Errorf("fleet: no healthy workcell left"))
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				status, cause = StatusCanceled, ctxErr
@@ -641,20 +883,13 @@ func (c *cellRun) lane(l int, setup LaneSetup) {
 				continue
 			}
 			// The cell cannot take the campaign (failed health gate or
-			// session reset): retire it and requeue the campaign without
+			// session reset): fault it and requeue the campaign without
 			// burning a scheduling attempt — the campaign never ran here, so
 			// this failure says nothing about it.
-			failed := CampaignResult{Campaign: t.c, Status: StatusFailed,
-				Workcell: -1, Attempts: t.attempts, Err: err}
+			requeueOrRecord(t, CampaignResult{Campaign: t.c, Status: StatusFailed,
+				Workcell: -1, Attempts: t.attempts, Err: err})
 			if c.retire() {
-				requeued, orphans := c.d.fail(t, true)
-				c.recordOrphans(orphans, err)
-				if !requeued {
-					c.record(t, failed)
-					c.d.finalize()
-				}
-			} else {
-				requeueOrRecord(t, failed)
+				c.onRetire(err)
 			}
 			return
 		}
@@ -678,20 +913,14 @@ func (c *cellRun) lane(l int, setup LaneSetup) {
 		stepFailure := errors.Is(cres.Err, wei.ErrStepFailed)
 		switch {
 		case class == wei.ClassWorkcellDown:
-			// The cell died under the campaign: retire it and reschedule
+			// The cell died under the campaign: fault it and reschedule
 			// unconditionally — the failure is no evidence against the
 			// campaign, so it is not charged against the MaxAttempts budget
-			// (t.charged), and requeues are bounded by the pool size since
-			// every one retires the cell that produced it.
+			// (t.charged). A probed cell may recover and re-admit; requeues
+			// are bounded by maxBounces and the registry's MaxDowntime.
+			requeueOrRecord(t, cres)
 			if c.retire() {
-				requeued, orphans := c.d.fail(t, true)
-				c.recordOrphans(orphans, cres.Err)
-				if !requeued {
-					c.record(t, cres)
-					c.d.finalize()
-				}
-			} else {
-				requeueOrRecord(t, cres)
+				c.onRetire(cres.Err)
 			}
 		case stepFailure && class == wei.ClassPermanent:
 			// Poisoned campaign (unknown module or action): it would fail on
@@ -712,19 +941,14 @@ func (c *cellRun) lane(l int, setup LaneSetup) {
 				c.d.finalize()
 				continue
 			}
-			retry := t.charged < c.opts.MaxAttempts
-			if c.retire() {
-				requeued, orphans := c.d.fail(t, retry)
-				c.recordOrphans(orphans, cres.Err)
-				if !requeued {
-					c.record(t, cres)
-					c.d.finalize()
-				}
-			} else if retry {
+			if t.charged < c.opts.MaxAttempts {
 				requeueOrRecord(t, cres)
 			} else {
 				c.record(t, cres)
 				c.d.finalize()
+			}
+			if c.retire() {
+				c.onRetire(cres.Err)
 			}
 		default:
 			// Application-level failure (solver error, vision pipeline): the
@@ -885,6 +1109,9 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 			res.Makespan = res.Workcells[i].Busy
 		}
 		res.Faults += res.Workcells[i].Faults
+		if res.Workcells[i].Admissions > 1 {
+			res.Readmissions += res.Workcells[i].Admissions - 1
+		}
 	}
 	for i := range res.Workcells {
 		if res.Makespan > 0 {
@@ -922,6 +1149,7 @@ func finish(res *Result, campaigns []Campaign, opts Options, clocks []sim.Clock,
 				"canceled":           res.Canceled,
 				"samples":            res.Samples,
 				"faults":             res.Faults,
+				"readmissions":       res.Readmissions,
 				"makespan_seconds":   res.Makespan.Seconds(),
 				"queue_wait_seconds": res.QueueWait.Seconds(),
 				"speedup":            res.Speedup,

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// joinRequest is the POST /join (and /leave) body: a workcell announcing
+// itself to the fleet control plane.
+type joinRequest struct {
+	// Name is the cell's stable identity ("" lets the registry generate one).
+	Name string `json:"name,omitempty"`
+	// URL is the cell's own workcell-server base URL, which the fleet dials
+	// back for health probes and campaigns.
+	URL string `json:"url"`
+}
+
+// joinResponse acknowledges a join/leave.
+type joinResponse struct {
+	Name  string    `json:"name"`
+	State CellState `json:"state"`
+}
+
+// JoinHandler returns the fleet control listener's handler:
+//
+//	POST /join    {"name": ..., "url": ...} → admit (or re-announce) a workcell
+//	POST /leave   {"name": ...}             → gracefully deregister
+//	GET  /members                           → membership snapshot
+//
+// Joined cells become probed registry members (via AddRemote with the given
+// RemoteOptions): a cell that joins before its server is up starts suspect
+// and is admitted by its first successful probes; a restarted cell that
+// re-announces under its old name is poked to probe — and re-admit —
+// immediately instead of waiting out the prober's backoff.
+func (r *Registry) JoinHandler(opts RemoteOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/join", func(w http.ResponseWriter, req *http.Request) {
+		jr, err := decodeJoin(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		name, err := r.AddRemote(jr.Name, jr.URL, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		mi, _ := r.Member(name)
+		writeJoinJSON(w, joinResponse{Name: name, State: mi.State})
+	})
+	mux.HandleFunc("/leave", func(w http.ResponseWriter, req *http.Request) {
+		jr, err := decodeJoin(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if jr.Name == "" {
+			http.Error(w, "leave requires a name", http.StatusBadRequest)
+			return
+		}
+		r.Deregister(jr.Name)
+		writeJoinJSON(w, joinResponse{Name: jr.Name, State: StateGone})
+	})
+	mux.HandleFunc("/members", func(w http.ResponseWriter, req *http.Request) {
+		writeJoinJSON(w, r.Members())
+	})
+	return mux
+}
+
+func decodeJoin(req *http.Request) (joinRequest, error) {
+	var jr joinRequest
+	if req.Method != http.MethodPost {
+		return jr, fmt.Errorf("POST required")
+	}
+	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil {
+		return jr, fmt.Errorf("bad request body: %w", err)
+	}
+	return jr, nil
+}
+
+func writeJoinJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Announce POSTs a join request to a fleet control listener on behalf of the
+// workcell serving at selfURL. It is the client side of JoinHandler, used by
+// cmd/workcell -announce.
+func Announce(ctx context.Context, fleetURL, name, selfURL string) error {
+	return postJoin(ctx, fleetURL, "/join", joinRequest{Name: name, URL: selfURL})
+}
+
+// Leave POSTs a graceful deregistration for the named cell.
+func Leave(ctx context.Context, fleetURL, name string) error {
+	return postJoin(ctx, fleetURL, "/leave", joinRequest{Name: name})
+}
+
+func postJoin(ctx context.Context, fleetURL, path string, jr joinRequest) error {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(fleetURL, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s %s: %w", path, fleetURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("fleet: %s %s: HTTP %d: %s", path, fleetURL,
+			resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

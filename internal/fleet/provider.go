@@ -67,6 +67,16 @@ type Laned interface {
 	Lane(l int) LaneSetup
 }
 
+// CapabilityAdvertiser is an optional WorkcellProvider extension: providers
+// that know their cells' capabilities before opening them advertise per-slot
+// so the scheduler can place capability-constrained campaigns without a
+// probe. Providers without it get unconstrained placement (the pre-registry
+// behavior: mismatches surface as runtime failures).
+type CapabilityAdvertiser interface {
+	// Capabilities describes pool member w; ok=false means unknown.
+	Capabilities(w int) (caps wei.Capabilities, ok bool)
+}
+
 // localProvider is the default provider: per-worker in-process simulated
 // workcells, exactly the pool fleet.Run has always built — plus, with
 // LanesPerCell > 1, one liquid handler per lane and a module-lease layer so
@@ -78,6 +88,12 @@ type localProvider struct {
 }
 
 func (p *localProvider) Count() int { return p.opts.Workcells }
+
+// Capabilities implements CapabilityAdvertiser: every local cell has one
+// liquid handler per lane and a camera, on a virtual clock.
+func (p *localProvider) Capabilities(int) (wei.Capabilities, bool) {
+	return wei.Capabilities{Lanes: p.lanes, OT2s: p.lanes, Camera: true}, true
+}
 
 func (p *localProvider) Open(_ context.Context, w int) (Cell, error) {
 	wc := core.NewSimWorkcell(core.WorkcellOptions{
@@ -138,6 +154,9 @@ type RemoteOptions struct {
 	// ActTimeout bounds one module command round-trip (default
 	// wei.DefaultActTimeout — above the longest modeled realtime action).
 	ActTimeout time.Duration
+	// ControlTimeout bounds health/reset round-trips, including the
+	// registry's re-admission probes (default wei.DefaultControlTimeout).
+	ControlTimeout time.Duration
 	// MaxAttempts overrides the engines' per-step command attempts
 	// (default: engine default).
 	MaxAttempts int
@@ -162,26 +181,37 @@ type remoteProvider struct {
 func (p *remoteProvider) Count() int { return len(p.urls) }
 
 func (p *remoteProvider) Open(ctx context.Context, w int) (Cell, error) {
-	wcc := wei.NewWorkcellClient(p.urls[w])
-	// Health-gated admission: a cell that cannot answer /healthz (or serves
-	// no modules) never joins the pool.
+	cell, _, err := openRemoteCell(ctx, p.urls[w], p.opts)
+	return cell, err
+}
+
+// openRemoteCell dials the workcell server at url and builds its Cell. It is
+// the shared admission path of the static remote provider and the registry's
+// elastic AddRemote members: health-gated (a cell that cannot answer
+// /healthz, or serves no modules, never joins the pool), returning the
+// capabilities the server advertised.
+func openRemoteCell(ctx context.Context, url string, opts RemoteOptions) (Cell, wei.Capabilities, error) {
+	wcc := wei.NewWorkcellClient(url)
+	if opts.ControlTimeout > 0 {
+		wcc.HTTP.Timeout = opts.ControlTimeout
+	}
 	health, err := wcc.Health(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: workcell %s: %w", p.urls[w], err)
+		return nil, wei.Capabilities{}, fmt.Errorf("fleet: workcell %s: %w", url, err)
 	}
 	if len(health.Modules) == 0 {
-		return nil, fmt.Errorf("fleet: workcell %s serves no modules", p.urls[w])
+		return nil, wei.Capabilities{}, fmt.Errorf("fleet: workcell %s serves no modules", url)
 	}
-	client := wcc.ModuleClient(p.opts.ActTimeout, health.Modules...)
+	client := wcc.ModuleClient(opts.ActTimeout, health.Modules...)
 	clock := sim.RealClock{}
 	eng := wei.NewEngine(client, clock, wei.NewEventLog(clock))
-	if p.opts.MaxAttempts > 0 {
-		eng.MaxAttempts = p.opts.MaxAttempts
+	if opts.MaxAttempts > 0 {
+		eng.MaxAttempts = opts.MaxAttempts
 	}
-	if p.opts.RetryDelay > 0 {
-		eng.RetryDelay = p.opts.RetryDelay
+	if opts.RetryDelay > 0 {
+		eng.RetryDelay = opts.RetryDelay
 	}
-	return &remoteCell{wcc: wcc, client: client, eng: eng, clock: clock}, nil
+	return &remoteCell{wcc: wcc, client: client, eng: eng, clock: clock}, health.Caps, nil
 }
 
 type remoteCell struct {

@@ -1,0 +1,75 @@
+package wei
+
+import (
+	"net/http"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// ChaosPlan configures probabilistic misbehavior of a whole workcell HTTP
+// server — the control plane included, not just per-command receive faults
+// (sim.FaultPlan models those inside the engine). It is the fleet-level
+// fault-injection harness: a chaotic server crashes connections, hangs, or
+// answers slowly at random, which is what a flaky device computer looks like
+// from the scheduler's side. Probabilities are evaluated per request and are
+// independent; crash is checked first, then hang, then slow.
+type ChaosPlan struct {
+	// PCrash is the probability a request's connection is aborted
+	// mid-exchange, as if the process crashed.
+	PCrash float64
+	// PHang is the probability the server sits on a request for HangFor
+	// before aborting it — a hung process that keeps the socket open until
+	// the client's timeout gives up on it.
+	PHang float64
+	// PSlow is the probability a request is answered after an extra SlowFor
+	// delay — a struggling-but-alive server.
+	PSlow float64
+	// SlowFor is the slow-answer delay (default 2s).
+	SlowFor time.Duration
+	// HangFor bounds a hang (default 30s; the client's own timeout normally
+	// fires first).
+	HangFor time.Duration
+	// Seed makes the misbehavior stream reproducible.
+	Seed int64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p ChaosPlan) Enabled() bool { return p.PCrash > 0 || p.PHang > 0 || p.PSlow > 0 }
+
+// ChaosMiddleware wraps next with the plan's misbehavior. With a zero plan it
+// returns next unchanged.
+func ChaosMiddleware(plan ChaosPlan, next http.Handler) http.Handler {
+	if !plan.Enabled() {
+		return next
+	}
+	if plan.SlowFor <= 0 {
+		plan.SlowFor = 2 * time.Second
+	}
+	if plan.HangFor <= 0 {
+		plan.HangFor = 30 * time.Second
+	}
+	rng := sim.NewRNG(plan.Seed)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch roll := rng.Float64(); {
+		case roll < plan.PCrash:
+			// Aborting the handler makes net/http sever the connection
+			// without writing a response: the client sees exactly what a
+			// crashed process produces.
+			panic(http.ErrAbortHandler)
+		case roll < plan.PCrash+plan.PHang:
+			select {
+			case <-r.Context().Done():
+			case <-time.After(plan.HangFor):
+			}
+			panic(http.ErrAbortHandler)
+		case roll < plan.PCrash+plan.PHang+plan.PSlow:
+			select {
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			case <-time.After(plan.SlowFor):
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -24,6 +24,11 @@ type HealthInfo struct {
 	Campaign string `json:"campaign,omitempty"`
 	// Commands counts module commands received this session.
 	Commands int `json:"commands"`
+	// Caps advertises what the cell can do (lane count, liquid handlers,
+	// realtime vs simulated, camera present) so a fleet control plane can
+	// place campaigns capability-aware. Zero when the server predates the
+	// field or chose not to advertise.
+	Caps Capabilities `json:"caps"`
 }
 
 // ResetInfo is the /reset response.
@@ -61,6 +66,8 @@ type ServerOptions struct {
 	// Clock stamps the per-session command log (default: wall clock, the
 	// time base an operator reading server logs expects).
 	Clock sim.Clock
+	// Caps is advertised on /healthz for capability-aware placement.
+	Caps Capabilities
 }
 
 // WorkcellServer exposes a workcell's modules over HTTP together with the
@@ -202,6 +209,7 @@ func (s *WorkcellServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Session:  s.session,
 		Campaign: s.campaign,
 		Commands: s.commands,
+		Caps:     s.opts.Caps,
 	}
 	s.mu.RUnlock()
 	writeJSON(w, info)
