@@ -1,0 +1,352 @@
+// Command portalload is an HTTP load generator for the data portal. It
+// drives mixed search / summary / batch-ingest traffic against a portal
+// server at configurable concurrency and reports per-operation p50/p99
+// latencies, overall throughput, and — when it hosts the server itself —
+// a restart benchmark comparing sequential replay of the raw segment log
+// against chunk-parallel replay of the compacted archive.
+//
+//	portalload                                  # self-hosted, defaults
+//	portalload -clients 64 -duration 10s
+//	portalload -url http://portal:2100          # target a running portal
+//	portalload -out BENCH_portalload.json
+//
+// With no -url the tool starts its own portal server on a loopback port,
+// backed by a durable store in -data (a temp directory by default), so one
+// invocation measures the full production read path: preload -records
+// records, measure search latency on an idle store, then run the mixed
+// phase and report how much sustained ingest inflates search tail latency
+// (ingest_impact_ratio). Finally it shuts the server down and measures
+// restart time three ways: sequential replay of the uncompacted log,
+// then — after a compaction — sequential and parallel replay of the
+// compacted archive (restart.speedup is uncompacted-sequential over
+// compacted-parallel).
+//
+// Against an external -url only the traffic phases run: the restart
+// benchmark needs to own the store's files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"colormatch/internal/portal"
+)
+
+type opStats struct {
+	mu      sync.Mutex
+	name    string
+	micros  []float64
+	errs    int
+	records int // records moved by this op class (ingest batches, search pages)
+}
+
+func (o *opStats) record(d time.Duration, recs int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err != nil {
+		o.errs++
+		return
+	}
+	o.micros = append(o.micros, float64(d.Microseconds()))
+	o.records += recs
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (o *opStats) summary() map[string]any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := append([]float64(nil), o.micros...)
+	sort.Float64s(s)
+	return map[string]any{
+		"count":   len(s),
+		"errors":  o.errs,
+		"records": o.records,
+		"p50_us":  percentile(s, 0.50),
+		"p99_us":  percentile(s, 0.99),
+	}
+}
+
+func (o *opStats) p99() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := append([]float64(nil), o.micros...)
+	sort.Float64s(s)
+	return percentile(s, 0.99)
+}
+
+func main() {
+	url := flag.String("url", "", "portal base URL to load; empty starts a self-hosted server")
+	dataDir := flag.String("data", "", "data directory for the self-hosted store; empty uses a temp dir")
+	clients := flag.Int("clients", 32, "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "length of each traffic phase (idle and mixed)")
+	records := flag.Int("records", 10000, "records to preload before measuring")
+	out := flag.String("out", "", "write the JSON report here; empty prints to stdout")
+	seed := flag.Int64("seed", 1, "base RNG seed (each client derives its own)")
+	searchW := flag.Int("search-weight", 6, "relative weight of search ops in the mixed phase")
+	summaryW := flag.Int("summary-weight", 2, "relative weight of summary ops in the mixed phase")
+	ingestW := flag.Int("ingest-weight", 2, "relative weight of batch-ingest ops in the mixed phase")
+	flag.Parse()
+
+	report := map[string]any{
+		"tool":       "portalload",
+		"clients":    *clients,
+		"duration_s": duration.Seconds(),
+		"records":    *records,
+		"weights":    map[string]int{"search": *searchW, "summary": *summaryW, "ingest": *ingestW},
+	}
+
+	var store *portal.Store
+	var srv *http.Server
+	base := *url
+	selfHosted := base == ""
+	if selfHosted {
+		dir := *dataDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "portalload-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		// Small segments so the preload seals enough of the log for the
+		// restart benchmark's compaction to have real work to fold.
+		var err error
+		store, err = portal.OpenStoreWith(dir, portal.Options{SegmentBytes: 256 << 10})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		srv = &http.Server{Handler: portal.Serve(store)}
+		go func() { _ = srv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		report["data_dir"] = dir
+		fmt.Fprintf(os.Stderr, "portalload: self-hosted portal at %s (data in %s)\n", base, dir)
+	}
+	report["url"] = base
+
+	// One shared client per worker would serialize on the default
+	// transport's two idle conns per host; size the pool to the fleet.
+	transport := &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}
+	newClient := func() *portal.Client {
+		c := portal.NewClient(base)
+		c.HTTP = &http.Client{Transport: transport, Timeout: 30 * time.Second}
+		return c
+	}
+
+	// Preload: -records records across 10 experiments in 500-record batches,
+	// over HTTP like any real publisher.
+	const experiments = 10
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	pre := newClient()
+	batch := make([]portal.Record, 0, 500)
+	for i := 0; i < *records; i++ {
+		batch = append(batch, loadRecord(t0, i, i%experiments))
+		if len(batch) == cap(batch) || i == *records-1 {
+			if _, err := pre.IngestBatch(batch); err != nil {
+				fatal(fmt.Errorf("preload: %w", err))
+			}
+			batch = batch[:0]
+		}
+	}
+	fmt.Fprintf(os.Stderr, "portalload: preloaded %d records across %d experiments\n", *records, experiments)
+
+	expName := func(i int) string { return fmt.Sprintf("exp-%d", i%experiments) }
+
+	// Phase 1 — idle: search-only traffic against a store receiving no
+	// writes. Its p99 is the baseline the mixed phase is judged against.
+	idleSearch := &opStats{name: "search"}
+	runPhase(*clients, *duration, *seed, func(rng *rand.Rand, c *portal.Client) {
+		start := time.Now()
+		page, err := c.SearchPage(portal.Query{Experiment: expName(rng.Intn(experiments)), Limit: 50})
+		idleSearch.record(time.Since(start), len(page.Records), err)
+	}, newClient)
+	report["idle"] = map[string]any{"search": idleSearch.summary()}
+
+	// Phase 2 — mixed: weighted search/summary/ingest from every client.
+	search := &opStats{name: "search"}
+	summaryS := &opStats{name: "summary"}
+	ingest := &opStats{name: "ingest"}
+	total := *searchW + *summaryW + *ingestW
+	if total <= 0 {
+		fatal(fmt.Errorf("op weights sum to zero"))
+	}
+	var ingestSeq, mixedOps int64
+	var seqMu sync.Mutex
+	mixedStart := time.Now()
+	runPhase(*clients, *duration, *seed+1000, func(rng *rand.Rand, c *portal.Client) {
+		seqMu.Lock()
+		mixedOps++
+		seqMu.Unlock()
+		switch w := rng.Intn(total); {
+		case w < *searchW:
+			start := time.Now()
+			page, err := c.SearchPage(portal.Query{Experiment: expName(rng.Intn(experiments)), Limit: 50})
+			search.record(time.Since(start), len(page.Records), err)
+		case w < *searchW+*summaryW:
+			start := time.Now()
+			_, err := c.Summary(expName(rng.Intn(experiments)))
+			summaryS.record(time.Since(start), 0, err)
+		default:
+			seqMu.Lock()
+			n := ingestSeq
+			ingestSeq++
+			seqMu.Unlock()
+			recs := make([]portal.Record, 20)
+			for i := range recs {
+				recs[i] = loadRecord(t0.Add(time.Hour), int(n)*len(recs)+i, rng.Intn(experiments))
+			}
+			start := time.Now()
+			ids, err := c.IngestBatch(recs)
+			ingest.record(time.Since(start), len(ids), err)
+		}
+	}, newClient)
+	mixedElapsed := time.Since(mixedStart)
+
+	idleP99 := idleSearch.p99()
+	mixedP99 := search.p99()
+	impact := 0.0
+	if idleP99 > 0 {
+		impact = mixedP99 / idleP99
+	}
+	report["mixed"] = map[string]any{
+		"search":  search.summary(),
+		"summary": summaryS.summary(),
+		"ingest":  ingest.summary(),
+		"qps":     float64(mixedOps) / mixedElapsed.Seconds(),
+	}
+	report["ingest_impact_ratio"] = impact
+	fmt.Fprintf(os.Stderr, "portalload: mixed phase %.0f ops/s, search p99 %.0fµs (idle %.0fµs, impact %.2fx)\n",
+		float64(mixedOps)/mixedElapsed.Seconds(), mixedP99, idleP99, impact)
+
+	// Phase 3 — restart benchmark (self-hosted only): how long until the
+	// archive is queryable again after a process restart, before and after
+	// compaction.
+	if selfHosted {
+		srv.Close()
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
+		dir := report["data_dir"].(string)
+		var count int
+		timeReplay := func(workers int) time.Duration {
+			best := time.Duration(1<<62 - 1)
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				st, err := portal.OpenStoreWith(dir, portal.Options{ReplayWorkers: workers})
+				if err != nil {
+					fatal(err)
+				}
+				el := time.Since(start)
+				if count == 0 {
+					count = st.Len()
+				} else if st.Len() != count {
+					fatal(fmt.Errorf("restart bench: replay returned %d records, want %d", st.Len(), count))
+				}
+				if err := st.Close(); err != nil {
+					fatal(err)
+				}
+				if el < best {
+					best = el
+				}
+			}
+			return best
+		}
+		seqUncompacted := timeReplay(1)
+		st, err := portal.OpenStoreWith(dir, portal.Options{SegmentBytes: 256 << 10})
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Compact(); err != nil {
+			fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+		parCompacted := timeReplay(0)
+		seqCompacted := timeReplay(1)
+		speedup := float64(seqUncompacted) / float64(parCompacted)
+		report["restart"] = map[string]any{
+			"records":                   count,
+			"uncompacted_sequential_ms": ms(seqUncompacted),
+			"compacted_parallel_ms":     ms(parCompacted),
+			"compacted_sequential_ms":   ms(seqCompacted),
+			"speedup":                   speedup,
+		}
+		fmt.Fprintf(os.Stderr, "portalload: restart %d records: %.1fms uncompacted-seq, %.1fms compacted-par (%.2fx)\n",
+			count, ms(seqUncompacted), ms(parCompacted), speedup)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// runPhase runs op from `clients` goroutines until the deadline. Each
+// worker gets its own portal client and deterministic RNG.
+func runPhase(clients int, d time.Duration, seed int64, op func(*rand.Rand, *portal.Client), newClient func() *portal.Client) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			c := newClient()
+			for time.Now().Before(deadline) {
+				op(rng, c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// loadRecord builds the synthetic record shape every phase ingests.
+func loadRecord(t0 time.Time, i, exp int) portal.Record {
+	return portal.Record{
+		Experiment: fmt.Sprintf("exp-%d", exp),
+		Run:        i % 12,
+		Time:       t0.Add(time.Duration(i) * time.Second),
+		Fields: map[string]any{
+			"samples":    15,
+			"best_score": float64(i%100) / 10,
+			"duration_s": 42.5,
+			"plate":      fmt.Sprintf("plate-%04d", i),
+		},
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "portalload:", err)
+	os.Exit(1)
+}

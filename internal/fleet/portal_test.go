@@ -153,11 +153,18 @@ type flakyBatchPortal struct {
 }
 
 func (p *flakyBatchPortal) IngestBatch(recs []portal.Record) ([]string, error) {
+	return p.IngestBatchKeyed("", recs)
+}
+
+// IngestBatchKeyed must be overridden alongside IngestBatch: the embedded
+// *portal.Store would otherwise promote its own keyed method and the
+// Buffer's keyed flush path would skip the injected failures entirely.
+func (p *flakyBatchPortal) IngestBatchKeyed(key string, recs []portal.Record) ([]string, error) {
 	p.calls++
 	if p.calls <= p.failures {
 		return nil, errors.New("portal briefly unreachable")
 	}
-	return p.Store.IngestBatch(recs)
+	return p.Store.IngestBatchKeyed(key, recs)
 }
 
 // TestFleetFlushRetriesTransientPortalFailure: the campaign-end batch flush
@@ -222,6 +229,11 @@ type invalidBatchPortal struct {
 func (p *invalidBatchPortal) IngestBatch([]portal.Record) ([]string, error) {
 	p.calls++
 	return nil, fmt.Errorf("%w: batch rejected", portal.ErrInvalid)
+}
+
+// See flakyBatchPortal.IngestBatchKeyed for why this override exists.
+func (p *invalidBatchPortal) IngestBatchKeyed(string, []portal.Record) ([]string, error) {
+	return p.IngestBatch(nil)
 }
 
 // TestFleetFlushDoesNotRetryInvalidBatch: a rejected submission is not a

@@ -1,6 +1,8 @@
 package portal
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 )
@@ -17,10 +19,24 @@ import (
 // destination-assigned IDs in buffered order — callers who need actionable
 // record IDs must take them from there (the fleet exposes them as
 // CampaignResult.RecordIDs).
+//
+// Retry safety: a failed Flush keeps its records and retries them as the
+// same batch. When the destination supports idempotency keys
+// (KeyedBatchIngestor — the Store in process, the Client over HTTP), the
+// batch is pinned to one key at first Flush and resent under it, so a
+// flush whose response was lost after the destination committed (the
+// classic partial HTTP failure) is answered from the destination's dedupe
+// memory instead of double-ingesting. Records ingested while a retry is in
+// flight queue up for the next batch rather than mutating the pinned one.
 type Buffer struct {
 	mu   sync.Mutex
 	dest BatchIngestor
-	recs []Record
+	// pending is the in-flight batch: frozen at the first Flush that sends
+	// it, so every retry is byte-identical under key. queue holds records
+	// that arrived after the freeze.
+	pending []Record
+	key     string
+	queue   []Record
 }
 
 // NewBuffer returns an empty buffer draining into dest.
@@ -35,33 +51,61 @@ func (b *Buffer) Ingest(rec Record) (string, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.recs = append(b.recs, rec)
+	b.queue = append(b.queue, rec)
 	if rec.ID != "" {
 		return rec.ID, nil
 	}
-	return fmt.Sprintf("buffered-%d", len(b.recs)), nil
+	return fmt.Sprintf("buffered-%d", len(b.pending)+len(b.queue)), nil
 }
 
 // Len reports the number of records waiting to be flushed.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.recs)
+	return len(b.pending) + len(b.queue)
 }
 
-// Flush sends every buffered record to the destination in one IngestBatch
-// call and returns the assigned IDs. On error the records stay buffered so
-// a retried Flush loses nothing. Flushing an empty buffer is a no-op.
+// Flush sends every buffered record to the destination and returns the
+// assigned IDs, in buffered order. On error the records stay buffered so a
+// retried Flush loses nothing — and, for keyed destinations, cannot ingest
+// twice. Flushing an empty buffer is a no-op.
 func (b *Buffer) Flush() ([]string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.recs) == 0 {
-		return nil, nil
+	var ids []string
+	// Drain batch by batch: first the retried in-flight batch (if any),
+	// then whatever queued behind it. Each batch gets its own key, frozen
+	// until the destination acknowledges it.
+	for len(b.pending) > 0 || len(b.queue) > 0 {
+		if len(b.pending) == 0 {
+			b.pending, b.queue = b.queue, nil
+			b.key = newBatchKey()
+		}
+		batchIDs, err := b.sendPending()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, batchIDs...)
+		b.pending, b.key = nil, ""
 	}
-	ids, err := b.dest.IngestBatch(b.recs)
-	if err != nil {
-		return nil, err
-	}
-	b.recs = nil
 	return ids, nil
+}
+
+// sendPending forwards the frozen batch, keyed when the destination
+// supports it. Callers hold b.mu.
+func (b *Buffer) sendPending() ([]string, error) {
+	if keyed, ok := b.dest.(KeyedBatchIngestor); ok && b.key != "" {
+		return keyed.IngestBatchKeyed(b.key, b.pending)
+	}
+	return b.dest.IngestBatch(b.pending)
+}
+
+// newBatchKey returns a fresh idempotency key; empty (disabling dedupe for
+// that batch) only if the system's randomness source fails.
+func newBatchKey() string {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return ""
+	}
+	return "buf-" + hex.EncodeToString(buf[:])
 }

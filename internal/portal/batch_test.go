@@ -2,7 +2,10 @@ package portal
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -105,6 +108,177 @@ func (f *flakyBatcher) IngestBatch(recs []Record) ([]string, error) {
 }
 
 var errTransient = fmt.Errorf("transient portal outage")
+
+// TestBufferRetryAfterLostResponseDoesNotDoubleIngest is the partial-HTTP-
+// failure scenario: the server commits the batch but the response is lost
+// (here: replaced with a 500 by a fault-injecting proxy). The client sees
+// an error, the Buffer retains the records, and the retried flush must not
+// ingest a second copy — the idempotency key carried on both attempts lets
+// the server answer the retry from its dedupe memory.
+func TestBufferRetryAfterLostResponseDoesNotDoubleIngest(t *testing.T) {
+	store := NewStore()
+	handler := Serve(store)
+	var lose atomic.Bool
+	lose.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/ingest/batch" && lose.CompareAndSwap(true, false) {
+			// Let the store commit, then lose the response on the wire.
+			handler.ServeHTTP(httptest.NewRecorder(), req)
+			http.Error(w, "gateway timeout", http.StatusGatewayTimeout)
+			return
+		}
+		handler.ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+
+	buf := NewBuffer(NewClient(srv.URL))
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		if _, err := buf.Ingest(Record{Experiment: "lost", Run: i, Time: t0.Add(time.Duration(i) * time.Minute)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := buf.Flush(); err == nil {
+		t.Fatal("flush through lost response reported success")
+	}
+	// The server-side store already has the batch; the retry must not
+	// double it.
+	if store.Len() != 4 {
+		t.Fatalf("server store has %d records after lost response, want 4", store.Len())
+	}
+	ids, err := buf.Flush()
+	if err != nil {
+		t.Fatalf("retried flush: %v", err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("retried flush returned %d ids, want the original 4", len(ids))
+	}
+	if store.Len() != 4 {
+		t.Fatalf("retry double-ingested: store has %d records, want 4", store.Len())
+	}
+	// The returned IDs are the original commit's: every one resolves.
+	for _, id := range ids {
+		if _, err := store.Get(id); err != nil {
+			t.Fatalf("id %s from deduped retry: %v", id, err)
+		}
+	}
+	if got := store.Search(Query{Experiment: "lost"}); len(got) != 4 {
+		t.Fatalf("experiment has %d records, want 4", len(got))
+	}
+}
+
+// TestKeyedBatchDedupeSurvivesRestart: idempotency keys ride the segment
+// log, so a retry that straddles a portal restart is still answered with
+// the original commit instead of re-ingesting.
+func TestKeyedBatchDedupeSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := diskRecords(3)
+	ids, err := s.IngestBatchKeyed("campaign-7", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	again, err := reopened.IngestBatchKeyed("campaign-7", recs)
+	if err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+	if reopened.Len() != 3 {
+		t.Fatalf("retry after restart double-ingested: Len = %d", reopened.Len())
+	}
+	if len(again) != len(ids) {
+		t.Fatalf("retry ids = %v, original %v", again, ids)
+	}
+	for i := range ids {
+		if again[i] != ids[i] {
+			t.Fatalf("retry ids = %v, original %v", again, ids)
+		}
+	}
+	// The dedupe memory also survives a compaction + restart: keys ride the
+	// snapshot segment too.
+	if err := reopened.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	reopened.Close()
+	again2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again2.Close()
+	third, err := again2.IngestBatchKeyed("campaign-7", recs)
+	if err != nil || len(third) != 3 || again2.Len() != 3 {
+		t.Fatalf("retry after compaction: ids=%v err=%v Len=%d", third, err, again2.Len())
+	}
+}
+
+// keyRecorder records every keyed batch call it forwards.
+type keyRecorder struct {
+	*Store
+	keys  []string
+	sizes []int
+}
+
+func (k *keyRecorder) IngestBatch(recs []Record) ([]string, error) {
+	return k.IngestBatchKeyed("", recs)
+}
+
+func (k *keyRecorder) IngestBatchKeyed(key string, recs []Record) ([]string, error) {
+	k.keys = append(k.keys, key)
+	k.sizes = append(k.sizes, len(recs))
+	if len(k.keys) == 1 {
+		return nil, errTransient // first attempt dies before the store sees it
+	}
+	return k.Store.IngestBatchKeyed(key, recs)
+}
+
+// TestBufferQueuesNewRecordsDuringRetry: records ingested between a failed
+// flush and its retry must not mutate the in-flight batch — the retry
+// resends the frozen batch under its original key (so dedupe can work),
+// and the newcomers follow as a second batch under a fresh key.
+func TestBufferQueuesNewRecordsDuringRetry(t *testing.T) {
+	dest := &keyRecorder{Store: NewStore()}
+	buf := NewBuffer(dest)
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		buf.Ingest(Record{Experiment: "q", Run: i, Time: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	if _, err := buf.Flush(); err == nil {
+		t.Fatal("first flush should fail")
+	}
+	for i := 3; i < 5; i++ {
+		buf.Ingest(Record{Experiment: "q", Run: i, Time: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	if buf.Len() != 5 {
+		t.Fatalf("buffer Len = %d, want 5", buf.Len())
+	}
+	ids, err := buf.Flush()
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("retry flush: %v, %v", ids, err)
+	}
+	if dest.Len() != 5 {
+		t.Fatalf("store has %d records, want 5", dest.Len())
+	}
+	if len(dest.keys) != 3 {
+		t.Fatalf("keyed calls = %d (%v), want 3 (fail, retry, second batch)", len(dest.keys), dest.keys)
+	}
+	if dest.keys[0] == "" || dest.keys[0] != dest.keys[1] {
+		t.Fatalf("retry did not reuse the frozen batch's key: %v", dest.keys)
+	}
+	if dest.keys[2] == dest.keys[0] {
+		t.Fatalf("second batch reused the first batch's key: %v", dest.keys)
+	}
+	if dest.sizes[0] != 3 || dest.sizes[1] != 3 || dest.sizes[2] != 2 {
+		t.Fatalf("batch sizes = %v, want [3 3 2]", dest.sizes)
+	}
+}
 
 func TestIngestBatchEmpty(t *testing.T) {
 	s := NewStore()

@@ -18,13 +18,20 @@
 //     attachments are written to separate blob files, and on the next
 //     OpenStore the log is replayed to rebuild the store. A torn final
 //     record (the process died mid-append) is dropped on replay; everything
-//     before it survives.
+//     before it survives. [OpenStoreWith] adds replay and compaction
+//     tuning via [Options].
 //
-// Both modes serve reads from the same in-memory indexes — per-experiment
-// and global record lists pre-sorted by (time, ingest order) — so [Store.Search]
-// answers experiment- and time-filtered queries without scanning the whole
-// archive, and [Store.Summarize] serves each experiment's summary from a
-// cache that is invalidated only when that experiment ingests a new record.
+// # Concurrency
+//
+// The store is built for the fleet's traffic shape: many workcells
+// publishing while operators search. Reads ([Store.SearchPage],
+// [Store.Get], [Store.Summarize], [Store.Experiments], [Store.Len]) serve
+// from an immutable copy-on-write snapshot loaded through a single atomic
+// pointer — they take no lock, never block behind an ingest or each other,
+// and never observe a half-published batch: a batch becomes visible in one
+// atomic snapshot swap or not at all. Writers serialize among themselves;
+// summaries are cached per snapshot, so the hot index page costs one map
+// lookup between ingests.
 //
 // # Queries
 //
@@ -32,21 +39,40 @@
 // pages use [Store.SearchPage], which honors [Query].Limit and returns an
 // opaque resume cursor; passing that cursor back in [Query].Cursor continues
 // the listing where the previous page stopped, stable under concurrent
-// ingest.
+// ingest — and under compaction and restarts, because a record's ingest
+// slot (half of the cursor's sort key) is preserved by both.
 //
 // # Ingest
 //
 // [Ingestor] is the single-record publish seam used by the flow layer;
 // [BatchIngestor] extends it with [Store.IngestBatch], which validates and
 // appends many records under one lock acquisition (and, over HTTP, one
-// round-trip). [Buffer] adapts between the two: it is an Ingestor that
-// queues records in memory and forwards them to a BatchIngestor in a single
-// Flush — the shape a fleet campaign uses to publish its whole run at once.
+// round-trip). [KeyedBatchIngestor] adds idempotency keys: a batch retried
+// under the same key after a lost response is answered with the original
+// commit's IDs instead of being ingested twice, a guarantee that rides the
+// segment log and so survives restarts. [Buffer] adapts between the
+// single-record and batch shapes: it is an Ingestor that queues records in
+// memory and forwards them to the destination in Flush-sized keyed batches
+// — the shape a fleet campaign uses to publish its whole run at once,
+// safely retryable end to end.
+//
+// # Compaction and replay
+//
+// The segment log only grows; [Store.Compact] (or the automatic trigger
+// configured by [Options].AutoCompactSegments) rewrites every sealed
+// segment into a single snapshot segment via write-new-then-atomic-rename,
+// crash-safe at every boundary, while ingest and reads continue
+// undisturbed. Replay on OpenStore decodes the snapshot and tail segments
+// on a worker pool and bulk-builds the indexes, so restart time on a large
+// archive is bounded by cores, not by archive age. See docs/PORTAL.md for
+// the file-level guarantees.
 //
 // # HTTP
 //
-// [Serve] exposes the store over HTTP (ingest, batch ingest, search with
-// cursors, record fetch, experiment summaries, and the Figure 3 HTML index)
-// and [Client] is the matching remote [Ingestor]. See docs/PORTAL.md for
-// the wire-level operator guide.
+// [Serve] exposes the store over HTTP (ingest, batch ingest with
+// idempotency keys, search with cursors, record fetch, experiment
+// summaries, and the Figure 3 HTML index) and [Client] is the matching
+// remote [Ingestor]. See docs/PORTAL.md for the wire-level operator guide,
+// and cmd/portalload for the mixed-traffic load harness that regression-
+// tests this package's latency claims.
 package portal

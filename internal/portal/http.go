@@ -18,6 +18,9 @@ import (
 // The HTTP wire protocol:
 //   POST /ingest                      wireRecord -> {"id": ...}
 //   POST /ingest/batch                [wireRecord] -> {"ids": [...]}
+//                                     (optional X-Idempotency-Key header:
+//                                     a retried key returns the original
+//                                     commit's ids without re-ingesting)
 //   GET  /records/<id>                wireRecord
 //   GET  /search?experiment=&run=&after=&before=&limit=&cursor=
 //                                     {"records": [wireRecord], "next_cursor": ...}
@@ -125,7 +128,7 @@ func Serve(store *Store) http.Handler {
 			rec.sizes = nil // sizes are derived, never client-supplied
 			recs[i] = rec
 		}
-		ids, err := store.IngestBatch(recs)
+		ids, err := store.IngestBatchKeyed(req.Header.Get(idempotencyHeader), recs)
 		if err != nil {
 			http.Error(w, err.Error(), ingestStatus(err))
 			return
@@ -267,10 +270,21 @@ func (c *Client) Ingest(rec Record) (string, error) {
 	return out.ID, nil
 }
 
+// idempotencyHeader carries a batch's dedupe key on POST /ingest/batch.
+const idempotencyHeader = "X-Idempotency-Key"
+
 // IngestBatch implements BatchIngestor over HTTP: the whole batch travels
 // in one POST /ingest/batch round-trip and is accepted or rejected as a
 // unit.
 func (c *Client) IngestBatch(recs []Record) ([]string, error) {
+	return c.IngestBatchKeyed("", recs)
+}
+
+// IngestBatchKeyed implements KeyedBatchIngestor over HTTP: the key rides
+// the X-Idempotency-Key header, so a retry of a batch whose response was
+// lost in transit (after the server committed it) is answered from the
+// server's dedupe memory instead of ingesting a second copy.
+func (c *Client) IngestBatchKeyed(key string, recs []Record) ([]string, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
@@ -282,7 +296,15 @@ func (c *Client) IngestBatch(recs []Record) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("portal: encode batch: %w", err)
 	}
-	resp, err := c.batchClient(len(body)).Post(c.BaseURL+"/ingest/batch", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("portal: ingest batch: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(idempotencyHeader, key)
+	}
+	resp, err := c.batchClient(len(body)).Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("portal: ingest batch: %w", err)
 	}

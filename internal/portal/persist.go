@@ -7,23 +7,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 )
 
 // On-disk layout under the data directory:
 //
-//	<dir>/segments/seg-000001.jsonl   append-only record log, one JSON
+//	<dir>/segments/snap-000005.snap   compacted snapshot of segments 1..5:
+//	                                  the covered records in original ingest
+//	                                  order, in the binary format described
+//	                                  in snapcodec.go
+//	<dir>/segments/seg-000006.jsonl   append-only record log, one JSON
 //	                                  object per line, rotated by size
 //	<dir>/blobs/b-00000042.bin        attachment bodies, one file each,
 //	                                  referenced by name from segment lines
 //
 // A record becomes durable when its segment line is written and fsynced;
 // its blobs are written (and synced) first, so a line never references a
-// missing blob. On
-// OpenStore the segments are replayed oldest-first; a torn final line (the
-// process died mid-append) is truncated away and everything before it is
-// restored, indexes and summary cache included.
+// missing blob. On OpenStore the snapshot (if any) and the tail segments
+// are replayed oldest-first — decoded on a worker pool in chunks, merged in
+// ingest order — so restart time is bounded by cores, not archive age. A
+// torn final line (the process died mid-append) is truncated away and
+// everything before it is restored, indexes and summary cache included.
+// Compaction (see compact.go) replaces sealed segments with a fresh
+// snapshot via write-new-then-atomic-rename; leftovers of a compaction
+// interrupted by a crash (a stale .tmp, segments already covered by the
+// newest snapshot, an older snapshot) are swept on the next open.
 
 const (
 	segmentDirName = "segments"
@@ -35,8 +48,33 @@ const (
 // shrink it.
 var maxSegmentBytes int64 = 4 << 20
 
+// replayChunkBytes is the decode unit for parallel replay: files are split
+// at line boundaries into chunks of roughly this size, so even a single
+// large snapshot segment decodes across every core. A variable for tests.
+var replayChunkBytes = 512 << 10
+
+// Options tunes OpenStoreWith. The zero value matches OpenStore: replay on
+// all cores, no automatic compaction.
+type Options struct {
+	// ReplayWorkers caps the decode worker pool during replay; 0 uses
+	// GOMAXPROCS, 1 forces sequential replay (the pre-compaction baseline
+	// cmd/portalload measures against).
+	ReplayWorkers int
+	// AutoCompactSegments, when positive, starts a background compaction
+	// whenever more than this many sealed segments have accumulated past
+	// the newest snapshot. 0 disables automatic compaction; Store.Compact
+	// can still be called explicitly.
+	AutoCompactSegments int
+	// SegmentBytes overrides the segment rotation threshold (how large the
+	// active segment may grow before it is sealed). 0 keeps the default
+	// 4 MiB. Smaller segments seal sooner, giving compaction something to
+	// fold on small archives — cmd/portalload uses this.
+	SegmentBytes int64
+}
+
 // segRecord is the persisted form of one record: Fields inline, attachment
-// bodies replaced by blob references.
+// bodies replaced by blob references. Batch carries the idempotency key of
+// the batch that committed the record, so dedupe survives a restart.
 type segRecord struct {
 	ID         string             `json:"id"`
 	Experiment string             `json:"experiment"`
@@ -44,6 +82,18 @@ type segRecord struct {
 	Time       time.Time          `json:"time"`
 	Fields     map[string]any     `json:"fields,omitempty"`
 	Blobs      map[string]blobRef `json:"blobs,omitempty"`
+	Batch      string             `json:"batch,omitempty"`
+}
+
+// snapHeader is a compacted snapshot segment's header: the record count
+// (replay preallocates from it) and the ID/blob sequence watermarks (replay
+// skips the per-record watermark scan for covered records). Serialized in
+// the binary layout described in snapcodec.go.
+type snapHeader struct {
+	Snap  bool
+	Count int
+	Seq   int
+	Blob  int
 }
 
 // blobRef locates one attachment's body in the blob directory.
@@ -60,6 +110,12 @@ type segmentLog struct {
 	size   int64 // committed bytes: the segment's length after the last successful batch
 	segSeq int   // current segment number (1-based)
 	blob   int   // last blob number issued
+	// maxBytes seals the active segment once it grows past this size
+	// (Options.SegmentBytes, defaulted from maxSegmentBytes).
+	maxBytes int64
+	// compacted is the highest segment number covered by the newest
+	// snapshot segment; sealed segments above it are compaction candidates.
+	compacted int
 	// fault poisons the log: set when a failed append could not be rolled
 	// back (or a rotation failed), leaving the on-disk state untrustworthy
 	// for further writes. Every later append is refused, which keeps the
@@ -73,12 +129,57 @@ func segmentPath(dir string, seq int) string {
 	return filepath.Join(dir, segmentDirName, fmt.Sprintf("seg-%06d.jsonl", seq))
 }
 
+func snapPath(dir string, seq int) string {
+	return filepath.Join(dir, segmentDirName, fmt.Sprintf("snap-%06d.snap", seq))
+}
+
+// maxReplayWorkers is the default decode pool size for replay.
+func maxReplayWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// numberedFile extracts the sequence number from a prefix-NNNNNN-suffix
+// file name, replacing the fmt.Sscanf replay hot path (reflection-heavy at
+// one call per record) with a plain integer parse.
+func numberedFile(base, prefix, suffix string) (int, bool) {
+	mid, ok := strings.CutPrefix(base, prefix)
+	if !ok {
+		return 0, false
+	}
+	if mid, ok = strings.CutSuffix(mid, suffix); !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(mid)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// recSeq parses a generated "rec-NNNNNN" ID for the auto-ID watermark.
+func recSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "rec-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // OpenStore opens (creating if needed) a durable store rooted at dir,
 // replaying its segment log into fresh in-memory indexes. A torn final
 // record left by a crash mid-append is dropped and truncated away; any
 // other corruption is reported as an error rather than silently skipped.
 // The caller owns the returned store and should Close it to flush the log.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreWith(dir, Options{})
+}
+
+// OpenStoreWith is OpenStore with replay and compaction tuning.
+func OpenStoreWith(dir string, opts Options) (*Store, error) {
 	for _, sub := range []string{segmentDirName, blobDirName} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("portal: open store: %w", err)
@@ -94,24 +195,21 @@ func OpenStore(dir string) (*Store, error) {
 			unlock()
 		}
 	}()
-	names, err := filepath.Glob(filepath.Join(dir, segmentDirName, "seg-*.jsonl"))
+	snapN, segs, err := cleanSegmentDir(filepath.Join(dir, segmentDirName))
 	if err != nil {
-		return nil, fmt.Errorf("portal: open store: %w", err)
+		return nil, err
 	}
-	sort.Strings(names)
+	s, watermarks, err := replayArchive(dir, snapN, segs, opts.ReplayWorkers)
+	if err != nil {
+		return nil, err
+	}
 
-	s := NewStore()
-	log := &segmentLog{dir: dir, segSeq: 1}
-	for i, name := range names {
-		if err := s.replaySegment(log, name, i == len(names)-1); err != nil {
-			return nil, err
-		}
+	log := &segmentLog{dir: dir, segSeq: snapN + 1, compacted: snapN, blob: watermarks.blob, maxBytes: opts.SegmentBytes}
+	if log.maxBytes <= 0 {
+		log.maxBytes = maxSegmentBytes
 	}
-	if len(names) > 0 {
-		last := names[len(names)-1]
-		if _, err := fmt.Sscanf(filepath.Base(last), "seg-%06d.jsonl", &log.segSeq); err != nil {
-			return nil, fmt.Errorf("portal: unrecognized segment name %q", last)
-		}
+	if len(segs) > 0 {
+		log.segSeq = segs[len(segs)-1]
 	}
 	f, err := os.OpenFile(segmentPath(dir, log.segSeq), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -148,66 +246,338 @@ func OpenStore(dir string) (*Store, error) {
 		}
 	}
 	log.unlock = unlock
+	s.seq = watermarks.seq
 	s.log = log
+	s.readLog.Store(log)
+	s.autoCompact = opts.AutoCompactSegments
 	opened = true
 	return s, nil
 }
 
-// replaySegment loads one segment file into the store. last marks the final
-// segment, the only place a torn tail line is legal: it is truncated off so
-// subsequent appends start on a clean line boundary.
-func (s *Store) replaySegment(log *segmentLog, name string, last bool) error {
-	data, err := os.ReadFile(name)
+// cleanSegmentDir sweeps leftovers of an interrupted compaction and
+// returns the newest snapshot number (0 if none) plus the sorted tail
+// segment numbers to replay after it. Removed: stale *.tmp stages, older
+// snapshots superseded by the newest one, and segments the newest snapshot
+// already covers (a crash between rename and cleanup leaves both; replaying
+// both would abort on duplicate IDs).
+func cleanSegmentDir(segDir string) (snapN int, segs []int, err error) {
+	names, err := filepath.Glob(filepath.Join(segDir, "*"))
 	if err != nil {
-		return fmt.Errorf("portal: replay %s: %w", filepath.Base(name), err)
+		return 0, nil, fmt.Errorf("portal: open store: %w", err)
 	}
-	// A torn append can only leave an unterminated final line: appendRecords
-	// writes each line with its '\n' in one prefix-failing write, so a line
-	// that ends in '\n' was fully committed — if it no longer parses, that
-	// is in-place corruption to report, not a tear to truncate.
-	tornTailPossible := len(data) > 0 && data[len(data)-1] != '\n'
-	offset := int64(0)
+	for _, name := range names {
+		if n, ok := numberedFile(filepath.Base(name), "snap-", ".snap"); ok && n > snapN {
+			snapN = n
+		}
+	}
+	removed := false
+	for _, name := range names {
+		base := filepath.Base(name)
+		drop := strings.HasSuffix(base, ".tmp")
+		if n, ok := numberedFile(base, "snap-", ".snap"); ok && n < snapN {
+			drop = true
+		}
+		if n, ok := numberedFile(base, "seg-", ".jsonl"); ok {
+			if n <= snapN {
+				drop = true
+			} else {
+				segs = append(segs, n)
+			}
+		}
+		if drop {
+			if err := os.Remove(name); err != nil {
+				return 0, nil, fmt.Errorf("portal: sweep %s: %w", base, err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		if err := syncDir(segDir); err != nil {
+			return 0, nil, fmt.Errorf("portal: sweep segment dir: %w", err)
+		}
+	}
+	sort.Ints(segs)
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return 0, nil, fmt.Errorf("portal: segment log gap: missing seg-%06d", segs[i-1]+1)
+		}
+	}
+	if snapN > 0 && len(segs) > 0 && segs[0] != snapN+1 {
+		return 0, nil, fmt.Errorf("portal: segment log gap: missing seg-%06d", snapN+1)
+	}
+	return snapN, segs, nil
+}
+
+// fileDecode is the decoded contents of one JSONL segment file.
+type fileDecode struct {
+	path string
+	size int64
+	recs []segRecord
+	// First undecodable line, if any: its file offset, the offset past its
+	// bytes, and whether it carried a trailing newline — enough for the
+	// caller to distinguish a torn tail from in-place corruption.
+	bad           bool
+	badOff        int64
+	badEnd        int64
+	badTerminated bool
+}
+
+// decodeChunk is one parallel decode unit: a line-aligned byte range of one
+// segment file.
+type decodeChunk struct {
+	file int
+	base int64
+	data []byte
+}
+
+type chunkResult struct {
+	recs          []segRecord
+	bad           bool
+	badOff        int64
+	badEnd        int64
+	badTerminated bool
+}
+
+// decodeSegmentFiles reads and decodes the given JSONL segments on a worker
+// pool. Chunks are split at line boundaries, so one big segment still
+// decodes across all workers; results are reassembled in file/offset order
+// so the caller sees exactly the sequential decode's output.
+func decodeSegmentFiles(paths []string, workers int) ([]fileDecode, error) {
+	decs := make([]fileDecode, len(paths))
+	var chunks []decodeChunk
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("portal: replay %s: %w", filepath.Base(path), err)
+		}
+		decs[i] = fileDecode{path: path, size: int64(len(data))}
+		for base := 0; base < len(data); {
+			end := base + replayChunkBytes
+			if end >= len(data) {
+				end = len(data)
+			} else if nl := bytes.IndexByte(data[end:], '\n'); nl >= 0 {
+				end += nl + 1
+			} else {
+				end = len(data)
+			}
+			chunks = append(chunks, decodeChunk{file: i, base: int64(base), data: data[base:end]})
+			base = end
+		}
+	}
+	if workers <= 0 {
+		workers = maxReplayWorkers()
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	results := make([]chunkResult, len(chunks))
+	if workers <= 1 {
+		for i, c := range chunks {
+			results[i] = decodeOneChunk(c)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i] = decodeOneChunk(chunks[i])
+				}
+			}()
+		}
+		for i := range chunks {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, c := range chunks {
+		res := results[i]
+		fd := &decs[c.file]
+		if fd.bad {
+			continue // everything past the first bad line is unreachable
+		}
+		fd.recs = append(fd.recs, res.recs...)
+		if res.bad {
+			fd.bad = true
+			fd.badOff = res.badOff
+			fd.badEnd = res.badEnd
+			fd.badTerminated = res.badTerminated
+		}
+	}
+	return decs, nil
+}
+
+// decodeOneChunk parses one chunk's lines. A line that fails to parse (or
+// parses without an experiment name) stops the chunk; the caller decides
+// whether that is a legal torn tail or corruption.
+func decodeOneChunk(c decodeChunk) chunkResult {
+	var res chunkResult
+	data := c.data
+	off := c.base
 	for len(data) > 0 {
 		line := data
+		terminated := false
 		if i := bytes.IndexByte(data, '\n'); i >= 0 {
 			line, data = data[:i], data[i+1:]
+			terminated = true
 		} else {
 			data = nil
 		}
 		var sr segRecord
 		if err := json.Unmarshal(line, &sr); err != nil || sr.Experiment == "" {
-			if last && len(data) == 0 && tornTailPossible {
-				// Torn tail: the process died mid-append. Drop the record
-				// and truncate so the log ends on a clean line boundary.
-				if terr := os.Truncate(name, offset); terr != nil {
-					return fmt.Errorf("portal: truncate torn tail of %s: %w", filepath.Base(name), terr)
-				}
-				return nil
-			}
-			return fmt.Errorf("portal: corrupt record in %s at offset %d", filepath.Base(name), offset)
+			res.bad = true
+			res.badOff = off
+			res.badEnd = off + int64(len(line))
+			res.badTerminated = terminated
+			return res
 		}
-		if _, dup := s.byID[sr.ID]; dup {
-			return fmt.Errorf("portal: duplicate record id %q in %s", sr.ID, filepath.Base(name))
+		res.recs = append(res.recs, sr)
+		off += int64(len(line))
+		if terminated {
+			off++
 		}
+	}
+	return res
+}
+
+// replayWatermarks carries the sequence counters recovered during replay.
+type replayWatermarks struct {
+	seq  int
+	blob int
+}
+
+// replayArchive decodes the snapshot (binary, chunk-parallel) and the tail
+// segments (JSONL, chunk-parallel) and builds a store with bulk-constructed
+// indexes: one (time, slot) sort over all records instead of a per-record
+// sorted insert, with per-experiment indexes derived from the global order
+// in one pass. Snapshot records skip the per-record watermark scan — their
+// header carries the covered watermarks.
+func replayArchive(dir string, snapN int, segs []int, workers int) (*Store, replayWatermarks, error) {
+	s := NewStore()
+	var marks replayWatermarks
+	var snapRecs []segRecord
+	if snapN > 0 {
+		data, err := os.ReadFile(snapPath(dir, snapN))
+		if err != nil {
+			return nil, marks, fmt.Errorf("portal: replay snapshot: %w", err)
+		}
+		head, recs, err := snapDecode(data, workers)
+		if err != nil {
+			// A snapshot is published whole by an atomic rename; damage here
+			// is corruption, never a torn write.
+			return nil, marks, fmt.Errorf("portal: corrupt snapshot %s: %v",
+				filepath.Base(snapPath(dir, snapN)), err)
+		}
+		marks.seq, marks.blob = head.Seq, head.Blob
+		snapRecs = recs
+	}
+	paths := make([]string, len(segs))
+	for i, n := range segs {
+		paths[i] = segmentPath(dir, n)
+	}
+	decs, err := decodeSegmentFiles(paths, workers)
+	if err != nil {
+		return nil, marks, err
+	}
+	total := len(snapRecs)
+	for _, fd := range decs {
+		total += len(fd.recs)
+	}
+	entries := make([]entry, 0, total)
+	ids := make(map[string]int, total)
+	var lastBatch string
+	addRec := func(sr *segRecord, file string, scanMarks bool) error {
+		if _, dup := ids[sr.ID]; dup {
+			return fmt.Errorf("portal: duplicate record id %q in %s", sr.ID, file)
+		}
+		slot := len(entries)
+		ids[sr.ID] = slot
 		rec := Record{ID: sr.ID, Experiment: sr.Experiment, Run: sr.Run, Time: sr.Time, Fields: sr.Fields}
 		if len(sr.Blobs) > 0 {
 			rec.sizes = make(map[string]int, len(sr.Blobs))
 			for bname, ref := range sr.Blobs {
 				rec.sizes[bname] = ref.Size
-				var n int
-				if _, err := fmt.Sscanf(ref.File, "b-%d.bin", &n); err == nil && n > log.blob {
-					log.blob = n
+				if scanMarks {
+					if n, ok := numberedFile(ref.File, "b-", ".bin"); ok && n > marks.blob {
+						marks.blob = n
+					}
 				}
 			}
 		}
-		var seq int
-		if _, err := fmt.Sscanf(sr.ID, "rec-%d", &seq); err == nil && seq > s.seq {
-			s.seq = seq
+		if scanMarks {
+			if n, ok := recSeq(sr.ID); ok && n > marks.seq {
+				marks.seq = n
+			}
 		}
-		s.insertLocked(rec, sr.Blobs)
-		offset += int64(len(line)) + 1
+		entries = append(entries, entry{rec: rec, blobs: sr.Blobs})
+		// Rebuild the idempotency-key memory from contiguous key runs (the
+		// latest run of a key wins, matching the in-memory FIFO).
+		if sr.Batch != "" {
+			if sr.Batch != lastBatch {
+				s.rememberBatch(sr.Batch, nil)
+				s.batches[sr.Batch] = s.batches[sr.Batch][:0]
+			}
+			s.batches[sr.Batch] = append(s.batches[sr.Batch], sr.ID)
+		}
+		lastBatch = sr.Batch
+		return nil
 	}
-	return nil
+	snapBase := ""
+	if snapN > 0 {
+		snapBase = filepath.Base(snapPath(dir, snapN))
+	}
+	for ri := range snapRecs {
+		if err := addRec(&snapRecs[ri], snapBase, false); err != nil {
+			return nil, marks, err
+		}
+	}
+	for fi := range decs {
+		fd := &decs[fi]
+		if fd.bad {
+			// A torn append can only leave an unterminated final line of the
+			// final segment: appendRecords writes each line with its '\n' in
+			// one prefix-failing write, so a line that ends in '\n' was fully
+			// committed — if it no longer parses, that is in-place corruption
+			// to report, not a tear to truncate.
+			torn := fi == len(decs)-1 && fd.badEnd == fd.size && !fd.badTerminated
+			if !torn {
+				return nil, marks, fmt.Errorf("portal: corrupt record in %s at offset %d",
+					filepath.Base(fd.path), fd.badOff)
+			}
+			if terr := os.Truncate(fd.path, fd.badOff); terr != nil {
+				return nil, marks, fmt.Errorf("portal: truncate torn tail of %s: %w",
+					filepath.Base(fd.path), terr)
+			}
+		}
+		for ri := range fd.recs {
+			if err := addRec(&fd.recs[ri], filepath.Base(fd.path), true); err != nil {
+				return nil, marks, err
+			}
+		}
+	}
+	sn := &snapshot{entries: entries}
+	byTime := make([]int, len(entries))
+	for i := range byTime {
+		byTime[i] = i
+	}
+	// Records usually arrive in time order; skip the sort when they did.
+	if !sort.SliceIsSorted(byTime, func(i, j int) bool { return sn.less(byTime[i], byTime[j]) }) {
+		sort.Slice(byTime, func(i, j int) bool { return sn.less(byTime[i], byTime[j]) })
+	}
+	sn.byTime = byTime
+	sn.byExp = make(map[string][]int)
+	for _, slot := range byTime {
+		exp := entries[slot].rec.Experiment
+		sn.byExp[exp] = append(sn.byExp[exp], slot)
+	}
+	s.snap.Store(sn)
+	for id, slot := range ids {
+		s.byID.Store(id, slot)
+	}
+	return s, marks, nil
 }
 
 // writeBlobs persists one record's attachments, returning their references.
@@ -307,14 +677,14 @@ func (l *segmentLog) readBlobs(refs map[string]blobRef) (map[string][]byte, erro
 // ride along with a later batch and brick replay with a duplicate ID. If
 // the rollback itself fails the log is poisoned and refuses further
 // appends. Callers hold the store lock.
-func (l *segmentLog) appendRecords(recs []Record, blobs []map[string]blobRef) error {
+func (l *segmentLog) appendRecords(recs []Record, blobs []map[string]blobRef, batchKey string) error {
 	if err := l.usable(); err != nil {
 		return err
 	}
 	var batch []byte
 	for i, rec := range recs {
 		sr := segRecord{ID: rec.ID, Experiment: rec.Experiment, Run: rec.Run, Time: rec.Time,
-			Fields: rec.Fields, Blobs: blobs[i]}
+			Fields: rec.Fields, Blobs: blobs[i], Batch: batchKey}
 		line, err := json.Marshal(sr)
 		if err != nil {
 			// The record itself is unencodable (a NaN field, say): that is
@@ -346,7 +716,7 @@ func (l *segmentLog) appendRecords(recs []Record, blobs []map[string]blobRef) er
 		return fmt.Errorf("portal: append batch: %w", werr)
 	}
 	l.size += int64(len(batch))
-	if l.size >= maxSegmentBytes {
+	if l.size >= l.maxBytes {
 		if err := l.rotate(); err != nil {
 			// The flush succeeded, so this batch is durable and must commit;
 			// only future appends have nowhere safe to go.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,6 +60,16 @@ type BatchIngestor interface {
 	IngestBatch(recs []Record) (ids []string, err error)
 }
 
+// KeyedBatchIngestor is a BatchIngestor that deduplicates retried batches:
+// a batch resubmitted under the same non-empty idempotency key after a lost
+// response is answered with the original commit's IDs instead of being
+// ingested twice. Store and Client implement it; Buffer uses it when the
+// destination offers it.
+type KeyedBatchIngestor interface {
+	BatchIngestor
+	IngestBatchKeyed(key string, recs []Record) (ids []string, err error)
+}
+
 // ErrNotFound reports a lookup of a nonexistent record.
 var ErrNotFound = errors.New("portal: record not found")
 
@@ -75,42 +86,152 @@ type entry struct {
 	blobs map[string]blobRef
 }
 
-// Store is the searchable record store. Reads are served from in-memory
-// indexes kept sorted by (record time, ingest order): a per-experiment
-// record list, a global time-ordered list, and a cache of per-experiment
-// summaries invalidated on ingest. A store built with OpenStore is
-// additionally backed by an append-only segment log that makes every
-// accepted record durable.
-type Store struct {
-	mu      sync.RWMutex
+// snapshot is one immutable, fully indexed view of the store. Readers load
+// the current snapshot pointer and serve entirely from it — no lock, no
+// interaction with writers. Writers build the next snapshot (sharing every
+// structure the batch does not touch) and publish it with one atomic
+// pointer store, so a reader either sees a whole batch or none of it.
+//
+// Sharing rule: entries and the index slices may share backing arrays with
+// older snapshots, but only elements past the older snapshot's length are
+// ever written — a published snapshot never reads past its own length, and
+// writers are serialized, so the shared prefix is immutable.
+type snapshot struct {
 	entries []entry
-	byID    map[string]int
 	byExp   map[string][]int // slots sorted by (Time, slot)
 	byTime  []int            // all slots sorted by (Time, slot)
-	sums    map[string]Summary
-	seq     int
-	log     *segmentLog // nil for the in-memory store
+	// sums caches per-experiment summaries computed against this snapshot,
+	// lazily filled by readers. Filling is idempotent (the snapshot is
+	// immutable), so concurrent misses may compute twice but never disagree.
+	sums sync.Map // experiment -> Summary
+}
+
+// less orders two slots by (record time, ingest order): the sort key of
+// every index and of search results.
+func (sn *snapshot) less(a, b int) bool {
+	ta, tb := sn.entries[a].rec.Time, sn.entries[b].rec.Time
+	if !ta.Equal(tb) {
+		return ta.Before(tb)
+	}
+	return a < b
+}
+
+// with returns the snapshot extended by added entries (already assigned
+// their slots len(entries)..len(entries)+len(added)-1).
+func (sn *snapshot) with(added []entry) *snapshot {
+	base := len(sn.entries)
+	next := &snapshot{entries: append(sn.entries, added...)}
+	slots := make([]int, len(added))
+	for i := range slots {
+		slots[i] = base + i
+	}
+	// Stable keeps equal-time records in ingest order, matching less().
+	sort.SliceStable(slots, func(i, j int) bool { return next.less(slots[i], slots[j]) })
+	next.byTime = mergeSlots(next, sn.byTime, slots)
+	perExp := make(map[string][]int)
+	for _, slot := range slots {
+		exp := next.entries[slot].rec.Experiment
+		perExp[exp] = append(perExp[exp], slot)
+	}
+	next.byExp = make(map[string][]int, len(sn.byExp)+len(perExp))
+	for exp, idx := range sn.byExp {
+		next.byExp[exp] = idx
+	}
+	for exp, ns := range perExp {
+		next.byExp[exp] = mergeSlots(next, next.byExp[exp], ns)
+	}
+	// Summaries stay valid for every experiment the batch did not touch.
+	sn.sums.Range(func(k, v any) bool {
+		if _, touched := perExp[k.(string)]; !touched {
+			next.sums.Store(k, v)
+		}
+		return true
+	})
+	return next
+}
+
+// mergeSlots returns idx with add (itself (time, slot)-sorted) merged in
+// order. When every added slot sorts after idx's tail — the common
+// in-time-order ingest — the result extends idx in place; see the sharing
+// rule on snapshot. Otherwise a fresh merged slice is built.
+func mergeSlots(sn *snapshot, idx, add []int) []int {
+	if len(add) == 0 {
+		return idx
+	}
+	if len(idx) == 0 || sn.less(idx[len(idx)-1], add[0]) {
+		return append(idx, add...)
+	}
+	out := make([]int, 0, len(idx)+len(add))
+	i, j := 0, 0
+	for i < len(idx) && j < len(add) {
+		if sn.less(idx[i], add[j]) {
+			out = append(out, idx[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, idx[i:]...)
+	return append(out, add[j:]...)
+}
+
+// maxBatchKeys bounds the idempotency-key memory: older keys are evicted
+// FIFO, after which a very stale retry would re-ingest. The cap is far
+// beyond any plausible in-flight retry window.
+const maxBatchKeys = 4096
+
+// Store is the searchable record store. The read path (SearchPage, Get,
+// Summarize, Experiments, Len) serves from an immutable copy-on-write
+// snapshot loaded through one atomic pointer, so reads never block behind
+// an ingest — or each other — and never observe a half-published batch.
+// Writers serialize on an internal mutex, append to the segment log (for
+// stores built with OpenStore) and publish the next snapshot atomically.
+type Store struct {
+	wmu  sync.Mutex // serializes writers; the read path never takes it
+	snap atomic.Pointer[snapshot]
+	// byID maps record ID -> entry slot. Append-only: IDs are never
+	// reassigned, so a lock-free sync.Map serves both reader lookups and
+	// writer duplicate checks.
+	byID sync.Map
+	seq  int         // auto-ID watermark; -1 once the store is closed
+	log  *segmentLog // nil for the in-memory store
+	// readLog is the read path's view of the segment log for blob loads;
+	// nil for in-memory stores and after Close.
+	readLog atomic.Pointer[segmentLog]
+	// batches remembers recently used idempotency keys and the IDs their
+	// batches committed with, so a retried batch is answered, not re-run.
+	batches    map[string][]string
+	batchOrder []string
+	// autoCompact, when positive, triggers background compaction once that
+	// many sealed segments accumulate past the last snapshot.
+	autoCompact   int
+	cmu           sync.Mutex // serializes compactions (and Close against them)
+	compactWG     sync.WaitGroup
+	compactQueued atomic.Bool
 }
 
 // NewStore returns an empty in-memory store.
 func NewStore() *Store {
-	return &Store{
-		byID:  make(map[string]int),
-		byExp: make(map[string][]int),
-		sums:  make(map[string]Summary),
-	}
+	s := &Store{batches: make(map[string][]string)}
+	s.snap.Store(&snapshot{byExp: make(map[string][]int)})
+	return s
 }
 
 // Close flushes and closes the store's segment log (in-memory stores have
-// none to flush). In both modes records ingested after Close are rejected;
-// reads keep working.
+// none to flush), waiting for any background compaction to finish. In both
+// modes records ingested after Close are rejected; reads keep working.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.compactWG.Wait()
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	var err error
 	if s.log != nil {
 		err = s.log.close()
 		s.log = nil
+		s.readLog.Store(nil)
 	}
 	// Poison ingestion for both modes so the documented contract holds
 	// uniformly; for disk stores in particular, records after Close must
@@ -134,16 +255,30 @@ func (s *Store) Ingest(rec Record) (string, error) {
 // records are untouched — in particular no provisional IDs are assigned,
 // so a Buffer retrying a failed flush presents the same batch again.
 func (s *Store) IngestBatch(recs []Record) ([]string, error) {
+	return s.IngestBatchKeyed("", recs)
+}
+
+// IngestBatchKeyed is IngestBatch with an idempotency key: a non-empty key
+// already committed on this store is answered with the original batch's
+// IDs and ingests nothing, so a publisher retrying after a lost response
+// cannot double-ingest. Keys ride the segment log, so the guarantee
+// survives a restart. An empty key behaves exactly like IngestBatch.
+func (s *Store) IngestBatchKeyed(key string, recs []Record) ([]string, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
 	// Work on a copy: ID assignment must not leak into the caller's slice
 	// until the batch is actually committed.
 	recs = append([]Record(nil), recs...)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.seq < 0 {
 		return nil, fmt.Errorf("portal: store is closed")
+	}
+	if key != "" {
+		if ids, ok := s.batches[key]; ok {
+			return append([]string(nil), ids...), nil
+		}
 	}
 	// Validate and assign IDs before touching any state, so a bad record
 	// anywhere in the batch rejects the whole batch cleanly. Caller-supplied
@@ -160,7 +295,7 @@ func (s *Store) IngestBatch(recs []Record) ([]string, error) {
 		if recs[i].ID == "" {
 			continue
 		}
-		if _, dup := s.byID[recs[i].ID]; dup || seen[recs[i].ID] {
+		if _, dup := s.byID.Load(recs[i].ID); dup || seen[recs[i].ID] {
 			return nil, fmt.Errorf("%w: duplicate record id %q", ErrInvalid, recs[i].ID)
 		}
 		seen[recs[i].ID] = true
@@ -169,7 +304,7 @@ func (s *Store) IngestBatch(recs []Record) ([]string, error) {
 		for recs[i].ID == "" {
 			seq++
 			if id := fmt.Sprintf("rec-%06d", seq); !seen[id] {
-				if _, dup := s.byID[id]; !dup {
+				if _, dup := s.byID.Load(id); !dup {
 					recs[i].ID = id
 					seen[id] = true
 				}
@@ -201,11 +336,12 @@ func (s *Store) IngestBatch(recs []Record) ([]string, error) {
 				return nil, err
 			}
 		}
-		if err := s.log.appendRecords(recs, blobs); err != nil {
+		if err := s.log.appendRecords(recs, blobs, key); err != nil {
 			return nil, err
 		}
 	}
 	s.seq = seq
+	added := make([]entry, len(recs))
 	ids := make([]string, len(recs))
 	for i := range recs {
 		ids[i] = recs[i].ID
@@ -218,57 +354,55 @@ func (s *Store) IngestBatch(recs []Record) ([]string, error) {
 			}
 			rec.Files = nil
 		}
-		s.insertLocked(rec, blobs[i])
+		added[i] = entry{rec: rec, blobs: blobs[i]}
 	}
+	// Publish the batch: one atomic snapshot swap, then the ID index. A
+	// reader that finds an ID in byID is guaranteed (release/acquire through
+	// the sync.Map) to observe a snapshot containing its slot.
+	old := s.snap.Load()
+	s.snap.Store(old.with(added))
+	base := len(old.entries)
+	for i := range recs {
+		s.byID.Store(recs[i].ID, base+i)
+	}
+	if key != "" {
+		s.rememberBatch(key, ids)
+	}
+	s.maybeCompact()
 	return ids, nil
 }
 
-// insertLocked adds one validated record to every index. Callers hold mu.
-func (s *Store) insertLocked(rec Record, blobs map[string]blobRef) {
-	slot := len(s.entries)
-	s.entries = append(s.entries, entry{rec: rec, blobs: blobs})
-	s.byID[rec.ID] = slot
-	s.byTime = s.insertSorted(s.byTime, slot)
-	s.byExp[rec.Experiment] = s.insertSorted(s.byExp[rec.Experiment], slot)
-	delete(s.sums, rec.Experiment)
-}
-
-// before orders two slots by (record time, ingest order): the sort key of
-// every index and of search results.
-func (s *Store) before(a, b int) bool {
-	ta, tb := s.entries[a].rec.Time, s.entries[b].rec.Time
-	if !ta.Equal(tb) {
-		return ta.Before(tb)
+// rememberBatch records a committed idempotency key. Callers hold wmu.
+func (s *Store) rememberBatch(key string, ids []string) {
+	if _, ok := s.batches[key]; !ok {
+		s.batchOrder = append(s.batchOrder, key)
 	}
-	return a < b
-}
-
-// insertSorted places slot into a (Time, slot)-sorted index. Records
-// arriving in time order append in O(1); out-of-order arrivals pay one
-// memmove.
-func (s *Store) insertSorted(idx []int, slot int) []int {
-	i := sort.Search(len(idx), func(i int) bool { return s.before(slot, idx[i]) })
-	idx = append(idx, 0)
-	copy(idx[i+1:], idx[i:])
-	idx[i] = slot
-	return idx
+	s.batches[key] = append([]string(nil), ids...)
+	for len(s.batchOrder) > maxBatchKeys {
+		delete(s.batches, s.batchOrder[0])
+		s.batchOrder = s.batchOrder[1:]
+	}
 }
 
 // Get returns the record with the given ID, loading its attachments from
 // blob storage for disk-backed stores.
 func (s *Store) Get(id string) (Record, error) {
-	s.mu.RLock()
-	slot, ok := s.byID[id]
+	// byID first, snapshot second: the writer publishes in the opposite
+	// order, so a hit here always resolves inside the loaded snapshot.
+	v, ok := s.byID.Load(id)
 	if !ok {
-		s.mu.RUnlock()
 		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	e := s.entries[slot]
-	log := s.log
-	s.mu.RUnlock()
+	sn := s.snap.Load()
+	slot := v.(int)
+	if slot >= len(sn.entries) {
+		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	e := sn.entries[slot]
 	if len(e.blobs) == 0 {
 		return e.rec, nil
 	}
+	log := s.readLog.Load()
 	if log == nil {
 		// Only a Closed disk store gets here (in-memory records never carry
 		// blob refs): error out rather than silently return the record with
@@ -276,7 +410,7 @@ func (s *Store) Get(id string) (Record, error) {
 		return Record{}, fmt.Errorf("portal: record %s: store is closed", id)
 	}
 	// Blob files are immutable once their segment line is visible, so the
-	// load can run outside the lock.
+	// load runs without any store lock.
 	files, err := log.readBlobs(e.blobs)
 	if err != nil {
 		return Record{}, fmt.Errorf("portal: record %s: %w", id, err)
@@ -288,17 +422,14 @@ func (s *Store) Get(id string) (Record, error) {
 
 // Len returns the number of records stored.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
+	return len(s.snap.Load().entries)
 }
 
 // Experiments lists distinct experiment names, sorted.
 func (s *Store) Experiments() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byExp))
-	for name := range s.byExp {
+	sn := s.snap.Load()
+	out := make([]string, 0, len(sn.byExp))
+	for name := range sn.byExp {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -319,44 +450,38 @@ type Summary struct {
 	Last       time.Time `json:"last"`
 }
 
-// Summarize builds the summary view of one experiment. Summaries are cached
-// per experiment and recomputed only after that experiment ingests a new
-// record, so the portal's hot index page stops re-scanning every record on
-// every request.
+// Summarize builds the summary view of one experiment. Summaries are
+// cached on the snapshot they were computed from — a new ingest for the
+// experiment publishes a snapshot without that cache line — so the hot
+// index page costs one map lookup between ingests, and a summary never
+// blocks (or is blocked by) an ingest.
 func (s *Store) Summarize(experiment string) (Summary, error) {
-	s.mu.RLock()
-	sum, ok := s.sums[experiment]
-	s.mu.RUnlock()
-	if ok {
-		return sum, nil
+	sn := s.snap.Load()
+	if v, ok := sn.sums.Load(experiment); ok {
+		return v.(Summary), nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sum, ok := s.sums[experiment]; ok {
-		return sum, nil
-	}
-	slots := s.byExp[experiment]
+	slots := sn.byExp[experiment]
 	if len(slots) == 0 {
 		return Summary{}, fmt.Errorf("%w: experiment %q", ErrNotFound, experiment)
 	}
-	sum = s.summarizeLocked(experiment, slots)
-	s.sums[experiment] = sum
+	sum := sn.summarize(experiment, slots)
+	sn.sums.Store(experiment, sum)
 	return sum, nil
 }
 
-// summarizeLocked computes one experiment's summary from its sorted index.
-func (s *Store) summarizeLocked(experiment string, slots []int) Summary {
+// summarize computes one experiment's summary from its sorted index.
+func (sn *snapshot) summarize(experiment string, slots []int) Summary {
 	sum := Summary{
 		Experiment: experiment,
 		Records:    len(slots),
 		BestScore:  -1,
 		// slots is time-ordered, so the window is its endpoints.
-		First: s.entries[slots[0]].rec.Time,
-		Last:  s.entries[slots[len(slots)-1]].rec.Time,
+		First: sn.entries[slots[0]].rec.Time,
+		Last:  sn.entries[slots[len(slots)-1]].rec.Time,
 	}
 	runs := map[int]bool{}
 	for _, slot := range slots {
-		r := s.entries[slot].rec
+		r := sn.entries[slot].rec
 		runs[r.Run] = true
 		if n, ok := numField(r.Fields, "samples"); ok {
 			sum.Samples += int(n)

@@ -92,28 +92,31 @@ func (s *Store) SearchPage(q Query) (Page, error) {
 		}
 		hasCur = true
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// One snapshot load answers the whole page: every later index access is
+	// against the same immutable view, so a concurrently publishing ingest
+	// can neither block this search nor leak a half-published batch into it,
+	// and the cursor handed back is consistent with the records above it.
+	sn := s.snap.Load()
 
-	idx := s.byTime
+	idx := sn.byTime
 	if q.Experiment != "" {
-		idx = s.byExp[q.Experiment]
+		idx = sn.byExp[q.Experiment]
 	}
 	lo, hi := 0, len(idx)
 	if !q.After.IsZero() {
 		lo = sort.Search(len(idx), func(i int) bool {
-			return !s.entries[idx[i]].rec.Time.Before(q.After)
+			return !sn.entries[idx[i]].rec.Time.Before(q.After)
 		})
 	}
 	if !q.Before.IsZero() {
 		hi = sort.Search(len(idx), func(i int) bool {
-			return !s.entries[idx[i]].rec.Time.Before(q.Before)
+			return !sn.entries[idx[i]].rec.Time.Before(q.Before)
 		})
 	}
 	if hasCur {
 		from := sort.Search(len(idx), func(i int) bool {
 			slot := idx[i]
-			nanos := s.entries[slot].rec.Time.UnixNano()
+			nanos := sn.entries[slot].rec.Time.UnixNano()
 			return nanos > cur.nanos || (nanos == cur.nanos && slot > cur.slot)
 		})
 		if from > lo {
@@ -123,7 +126,7 @@ func (s *Store) SearchPage(q Query) (Page, error) {
 
 	var page Page
 	for i := lo; i < hi; i++ {
-		r := s.entries[idx[i]].rec
+		r := sn.entries[idx[i]].rec
 		if q.HasRun && r.Run != q.Run {
 			continue
 		}
@@ -142,11 +145,10 @@ func (s *Store) SearchPage(q Query) (Page, error) {
 // truncate — kept as the correctness reference and the baseline that
 // BenchmarkPortalSearch compares the indexes against.
 func (s *Store) searchScan(q Query) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.snap.Load()
 	var slots []int
-	for slot := range s.entries {
-		r := s.entries[slot].rec
+	for slot := range sn.entries {
+		r := sn.entries[slot].rec
 		if q.Experiment != "" && r.Experiment != q.Experiment {
 			continue
 		}
@@ -161,13 +163,13 @@ func (s *Store) searchScan(q Query) []Record {
 		}
 		slots = append(slots, slot)
 	}
-	sort.Slice(slots, func(i, j int) bool { return s.before(slots[i], slots[j]) })
+	sort.Slice(slots, func(i, j int) bool { return sn.less(slots[i], slots[j]) })
 	if q.Limit > 0 && len(slots) > q.Limit {
 		slots = slots[:q.Limit]
 	}
 	out := make([]Record, len(slots))
 	for i, slot := range slots {
-		out[i] = s.entries[slot].rec
+		out[i] = sn.entries[slot].rec
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package portal
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -187,18 +189,62 @@ func TestSearchPageTimeWindowWithCursor(t *testing.T) {
 }
 
 // TestIndexedSearchMatchesScan cross-checks the indexed path against the
-// linear reference on a shuffled workload across every filter combination.
+// linear reference on a shuffled workload across every filter combination —
+// for the in-memory store, a live disk store, and a disk store that was
+// compacted and reopened through the parallel replay path, which must all
+// serve identical results.
 func TestIndexedSearchMatchesScan(t *testing.T) {
-	s := NewStore()
 	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
 	// Two experiments, deliberately interleaved and time-scrambled.
-	for i := 0; i < 40; i++ {
-		exp := "x"
-		if i%3 == 0 {
-			exp = "y"
+	fill := func(t *testing.T, s *Store) {
+		for i := 0; i < 40; i++ {
+			exp := "x"
+			if i%3 == 0 {
+				exp = "y"
+			}
+			offset := time.Duration((i*7)%40) * time.Minute
+			if _, err := s.Ingest(rec(exp, i%4, t0.Add(offset), nil)); err != nil {
+				t.Fatal(err)
+			}
 		}
-		offset := time.Duration((i*7)%40) * time.Minute
-		s.Ingest(rec(exp, i%4, t0.Add(offset), nil))
+	}
+	variants := []struct {
+		name string
+		open func(t *testing.T) *Store
+	}{
+		{"memory", func(t *testing.T) *Store {
+			s := NewStore()
+			fill(t, s)
+			return s
+		}},
+		{"disk", func(t *testing.T) *Store {
+			s, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			fill(t, s)
+			return s
+		}},
+		{"compacted-parallel-replay", func(t *testing.T) *Store {
+			smallSegments(t, 512)
+			dir := t.TempDir()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill(t, s)
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			reopened, err := OpenStoreWith(dir, Options{ReplayWorkers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { reopened.Close() })
+			return reopened
+		}},
 	}
 	queries := []Query{
 		{},
@@ -210,17 +256,125 @@ func TestIndexedSearchMatchesScan(t *testing.T) {
 		{Experiment: "x", Limit: 7},
 		{Limit: 11},
 	}
-	for qi, q := range queries {
-		indexed := s.Search(q)
-		scan := s.searchScan(q)
-		if len(indexed) != len(scan) {
-			t.Fatalf("query %d: indexed %d records, scan %d", qi, len(indexed), len(scan))
-		}
-		for i := range indexed {
-			if indexed[i].ID != scan[i].ID {
-				t.Fatalf("query %d: order diverges at %d: %s vs %s", qi, i, indexed[i].ID, scan[i].ID)
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			s := v.open(t)
+			for qi, q := range queries {
+				indexed := s.Search(q)
+				scan := s.searchScan(q)
+				if len(indexed) != len(scan) {
+					t.Fatalf("query %d: indexed %d records, scan %d", qi, len(indexed), len(scan))
+				}
+				for i := range indexed {
+					if indexed[i].ID != scan[i].ID {
+						t.Fatalf("query %d: order diverges at %d: %s vs %s", qi, i, indexed[i].ID, scan[i].ID)
+					}
+				}
 			}
-		}
+		})
+	}
+}
+
+// TestRandomizedWorkloadMatchesScan is the property test for the whole
+// lifecycle: a seeded random mix of single ingests, batches, compactions,
+// and reopens (alternating sequential and parallel replay), cross-checked
+// after every step against the linear-scan reference and, at the end,
+// against an in-memory mirror store that replayed the same ingests — so
+// index maintenance, compaction, and replay must all preserve exactly the
+// same observable store.
+func TestRandomizedWorkloadMatchesScan(t *testing.T) {
+	t0 := time.Date(2023, 8, 16, 9, 0, 0, 0, time.UTC)
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			smallSegments(t, 512)
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror := NewStore()
+			exps := []string{"a", "b", "c"}
+			nextRun := 0
+			makeRec := func() Record {
+				nextRun++
+				return rec(exps[rng.Intn(len(exps))], nextRun,
+					// Random, colliding timestamps exercise the (time, slot)
+					// tiebreak through every merge and sort path.
+					t0.Add(time.Duration(rng.Intn(50))*time.Minute), nil)
+			}
+			check := func(step int) {
+				t.Helper()
+				queries := []Query{
+					{},
+					{Experiment: exps[rng.Intn(len(exps))]},
+					{After: t0.Add(time.Duration(rng.Intn(50)) * time.Minute)},
+					{Before: t0.Add(time.Duration(rng.Intn(50)) * time.Minute), Limit: 1 + rng.Intn(10)},
+				}
+				for qi, q := range queries {
+					indexed := s.Search(q)
+					scan := s.searchScan(q)
+					if len(indexed) != len(scan) {
+						t.Fatalf("step %d query %d: indexed %d, scan %d", step, qi, len(indexed), len(scan))
+					}
+					for i := range indexed {
+						if indexed[i].ID != scan[i].ID {
+							t.Fatalf("step %d query %d: diverges at %d", step, qi, i)
+						}
+					}
+				}
+			}
+			for step := 0; step < 60; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // single ingest
+					r := makeRec()
+					if _, err := s.Ingest(r); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := mirror.Ingest(r); err != nil {
+						t.Fatal(err)
+					}
+				case op < 7: // batch ingest
+					recs := make([]Record, 1+rng.Intn(5))
+					for i := range recs {
+						recs[i] = makeRec()
+					}
+					if _, err := s.IngestBatch(recs); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := mirror.IngestBatch(recs); err != nil {
+						t.Fatal(err)
+					}
+				case op < 9: // compact
+					if err := s.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				default: // reopen, alternating replay mode
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+					workers := 1 + step%4
+					if s, err = OpenStoreWith(dir, Options{ReplayWorkers: workers}); err != nil {
+						t.Fatalf("step %d reopen (workers=%d): %v", step, workers, err)
+					}
+				}
+				check(step)
+			}
+			// Final cross-store equivalence: the disk store (through all its
+			// compactions and reopens) matches the mirror that only ever saw
+			// plain ingests.
+			got, want := s.Search(Query{}), mirror.Search(Query{})
+			if len(got) != len(want) {
+				t.Fatalf("final: disk %d records, mirror %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || !got[i].Time.Equal(want[i].Time) || got[i].Run != want[i].Run {
+					t.Fatalf("final record %d: disk %+v vs mirror %+v", i, got[i], want[i])
+				}
+			}
+			s.Close()
+		})
 	}
 }
 
