@@ -1,0 +1,113 @@
+// Command archlint runs the repository's own static-analysis gate: the
+// internal/lint analyzers that enforce virtual-time, durability, and
+// concurrency invariants no general-purpose linter knows about.
+//
+// Usage:
+//
+//	go run ./cmd/archlint ./...            # lint the whole tree
+//	go run ./cmd/archlint -checks wallclock,durability ./internal/...
+//	go run ./cmd/archlint -json ./... | jq '.findings[]'
+//	go run ./cmd/archlint -list            # describe every check
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors. Run from the repository root — the wallclock and durability
+// package scopes match repo-relative paths (or pass -C <repo-root>).
+//
+// Findings are suppressed at the offending line with
+//
+//	//lint:ignore <check>[,<check>] <reason>
+//
+// either trailing the line or on its own line directly above it; the
+// reason is mandatory. See docs/LINT.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"colormatch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the stable -json output shape.
+type jsonReport struct {
+	Findings []lint.Finding `json:"findings"`
+	Count    int            `json:"count"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("archlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checks  = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		jsonOut = fs.Bool("json", false, "report findings as JSON")
+		list    = fs.Bool("list", false, "list available checks and exit")
+		root    = fs.String("C", "", "lint relative to this directory instead of the current one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s\n    %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	var enable map[string]bool
+	if *checks != "" {
+		known := map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name()] = true
+		}
+		enable = map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(stderr, "archlint: unknown check %q (use -list)\n", name)
+				return 2
+			}
+			enable[name] = true
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	r := &lint.Runner{Root: *root, Analyzers: analyzers, Enable: enable}
+	findings, err := r.Run(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		rep := jsonReport{Findings: findings, Count: len(findings)}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "archlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "archlint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

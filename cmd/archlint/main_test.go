@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a small Go tree under a temp dir for the CLI to
+// lint via -C, so the tests never depend on the real repository state.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const dirtyCtx = `package p
+
+import "context"
+
+type holder struct {
+	ctx context.Context
+}
+`
+
+const cleanCtx = `package p
+
+import "context"
+
+func run(ctx context.Context, n int) {}
+`
+
+const suppressedCtx = `package p
+
+import "context"
+
+type holder struct {
+	//lint:ignore ctx-discipline test fixture: deliberate carrier
+	ctx context.Context
+}
+`
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		exit int
+	}{
+		{"clean tree exits 0", cleanCtx, 0},
+		{"findings exit 1", dirtyCtx, 1},
+		{"suppressed findings exit 0", suppressedCtx, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root := writeTree(t, map[string]string{"p/p.go": c.src})
+			var stdout, stderr bytes.Buffer
+			got := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+			if got != c.exit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", got, c.exit, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": dirtyCtx})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", root, "./..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit %d, want 1", got)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "p/p.go:6:") || !strings.Contains(out, "ctx-discipline") {
+		t.Errorf("text output missing position or check name:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": dirtyCtx})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", got, stderr.String())
+	}
+	var report struct {
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if report.Count != 1 || len(report.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got count=%d findings=%d", report.Count, len(report.Findings))
+	}
+	f := report.Findings[0]
+	if f.Check != "ctx-discipline" || filepath.ToSlash(f.File) != "p/p.go" || f.Line != 6 || f.Col <= 0 || f.Message == "" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestJSONCleanTreeHasEmptyArray(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": cleanCtx})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, want 0", got)
+	}
+	// "findings": [] not null, so downstream jq pipelines never branch.
+	if !strings.Contains(stdout.String(), `"findings": []`) && !strings.Contains(stdout.String(), `"findings":[]`) {
+		t.Errorf("clean report should carry an empty findings array:\n%s", stdout.String())
+	}
+}
+
+func TestChecksFlagFilters(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": dirtyCtx})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", root, "-checks", "sentinel-compare,durability", "./..."}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, want 0 (ctx-discipline disabled); stdout: %s", got, stdout.String())
+	}
+	stdout.Reset()
+	if got := run([]string{"-C", root, "-checks", "ctx-discipline", "./..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit %d, want 1 (ctx-discipline enabled)", got)
+	}
+}
+
+func TestUnknownCheckExitsTwo(t *testing.T) {
+	root := writeTree(t, map[string]string{"p/p.go": cleanCtx})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-C", root, "-checks", "no-such-check", "./..."}, &stdout, &stderr); got != 2 {
+		t.Fatalf("exit %d, want 2", got)
+	}
+	if !strings.Contains(stderr.String(), "no-such-check") {
+		t.Errorf("stderr should name the unknown check:\n%s", stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, want 0", got)
+	}
+	out := stdout.String()
+	for _, name := range []string{"wallclock", "durability", "goroutine-fatal", "sentinel-compare", "ctx-discipline"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}

@@ -58,6 +58,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -170,7 +171,7 @@ func main() {
 				ReadHeaderTimeout: 5 * time.Second,
 			}
 			go func() {
-				if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 					fmt.Fprintln(os.Stderr, "fleet: control listener:", err)
 				}
 			}()

@@ -676,6 +676,9 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 			}
 			if grace := reg.opts.JoinGrace; grace > 0 && ctx.Err() == nil {
 				if graceCh == nil {
+					// JoinGrace waits for real workcells to announce over
+					// real HTTP; no campaign's virtual clock is running yet.
+					//lint:ignore wallclock join grace is wall-clock by design: it bounds a real-time wait for members, not simulated work
 					graceCh = time.After(grace)
 				}
 				return
@@ -750,6 +753,12 @@ func Run(ctx context.Context, campaigns []Campaign, opts Options) (*Result, erro
 // time from being double-counted. One cellRun spans one admission; a
 // re-admitted member gets a fresh cellRun folding into the same slot.
 type cellRun struct {
+	// cellRun is itself admission-scoped — built from Run's ctx when a
+	// member is admitted, discarded when the cell retires — so the held
+	// ctx cannot outlive the request that scoped it (the http.Request
+	// pattern). Threading ctx through every lane callback instead would
+	// triple several signatures for no added cancellation fidelity.
+	//lint:ignore ctx-discipline cellRun is an admission-scoped carrier; the ctx dies with the admission it belongs to
 	ctx   context.Context
 	d     *dispatcher
 	cell  Cell
@@ -1050,6 +1059,7 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 				// cannot outlast even the briefest real outage.
 				select {
 				case <-ctx.Done():
+				//lint:ignore wallclock retry pacing against an external portal is wall-clock by design (see comment above)
 				case <-time.After(flushRetryDelay):
 				}
 			}

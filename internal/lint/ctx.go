@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxDiscipline enforces the two context rules from the standard library's
+// own guidance: a context.Context is passed down a call chain as the first
+// parameter, and it is not stored in a struct — a struct-held ctx outlives
+// the request it scoped, which is exactly how cancellation stops
+// propagating through the fleet scheduler.
+type CtxDiscipline struct{}
+
+// NewCtxDiscipline builds the check.
+func NewCtxDiscipline() *CtxDiscipline { return &CtxDiscipline{} }
+
+func (c *CtxDiscipline) Name() string { return "ctx-discipline" }
+
+func (c *CtxDiscipline) Doc() string {
+	return "context.Context must be the first parameter of any function that takes one, and " +
+		"must not be stored in a struct field: a struct-held ctx detaches cancellation " +
+		"from the call chain. (http.Request-style request-scoped carriers are the rare " +
+		"exception — suppress with a reason.)"
+}
+
+func (c *CtxDiscipline) Check(pkg *Package) []Finding {
+	var fs []Finding
+	for _, f := range pkg.Files {
+		imports := importNames(f.Ast)
+		isCtx := func(e ast.Expr) bool {
+			if ell, ok := e.(*ast.Ellipsis); ok {
+				e = ell.Elt
+			}
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && imports[id.Name] == "context"
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					if isCtx(field.Type) {
+						fs = append(fs, pkg.Findingf(c.Name(), field.Pos(),
+							"context.Context stored in a struct field: pass ctx as the first parameter of the methods that need it instead"))
+					}
+				}
+			case *ast.FuncType:
+				if x.Params == nil {
+					return true
+				}
+				idx := 0
+				for _, field := range x.Params.List {
+					names := len(field.Names)
+					if names == 0 {
+						names = 1
+					}
+					if isCtx(field.Type) && idx > 0 {
+						fs = append(fs, pkg.Findingf(c.Name(), field.Pos(),
+							"context.Context is parameter %d: ctx must be the first parameter", idx+1))
+					}
+					idx += names
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DurabilityConfig scopes the durability check.
+type DurabilityConfig struct {
+	// Packages lists the directory prefixes whose write paths carry
+	// crash-safety obligations (the portal store).
+	Packages []string
+	// IncludeTests extends the check to _test.go files. Off by default:
+	// tests close throwaway stores where a dropped Close error hides
+	// nothing.
+	IncludeTests bool
+}
+
+// Durability enforces the portal's crash-safety idioms: an os.Rename
+// publish must have a sync step in the same function (the
+// write-tmp→fsync→rename→dir-sync ordering), and error returns from
+// Close/Sync/Flush must not be silently dropped on write paths.
+type Durability struct{ cfg DurabilityConfig }
+
+// NewDurability builds the check from a config; see DefaultAnalyzers for
+// the repository policy.
+func NewDurability(cfg DurabilityConfig) *Durability { return &Durability{cfg: cfg} }
+
+func (d *Durability) Name() string { return "durability" }
+
+func (d *Durability) Doc() string {
+	return "in the portal store, an os.Rename with no fsync in the same function breaks the " +
+		"write→fsync→rename ordering that crash-recovery depends on, and a bare f.Close()/" +
+		"Sync()/Flush() statement drops the only error that reports lost writes. " +
+		"Assign the error (or `_ = f.Close()` to discard deliberately). " +
+		"Deferred closes are not flagged; write paths here already use the " +
+		"`if cerr := f.Close(); err == nil { err = cerr }` idiom."
+}
+
+func (d *Durability) Check(pkg *Package) []Finding {
+	var fs []Finding
+	for _, f := range pkg.Files {
+		if !underAny(f.Path, d.cfg.Packages) {
+			continue
+		}
+		if f.Test && !d.cfg.IncludeTests {
+			continue
+		}
+		imports := importNames(f.Ast)
+		for _, decl := range f.Ast.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fs = append(fs, d.checkRenames(pkg, fn, imports)...)
+		}
+		fs = append(fs, d.checkDroppedErrors(pkg, f)...)
+	}
+	return fs
+}
+
+// checkRenames flags os.Rename calls in functions that never sync: the
+// rename may be durable while the renamed bytes are not. Any call whose
+// name contains "sync" (f.Sync, syncDir, writeFileSync, ...) counts as the
+// sync step.
+func (d *Durability) checkRenames(pkg *Package, fn *ast.FuncDecl, imports map[string]string) []Finding {
+	var renames []token.Pos
+	hasSync := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pos, ok := pkgCall(call, imports, "os", "Rename"); ok {
+			renames = append(renames, pos)
+		}
+		if strings.Contains(strings.ToLower(calleeName(call)), "sync") {
+			hasSync = true
+		}
+		return true
+	})
+	if hasSync {
+		return nil
+	}
+	var fs []Finding
+	for _, pos := range renames {
+		fs = append(fs, pkg.Findingf(d.Name(), pos,
+			"os.Rename with no fsync in %s: the write→fsync→rename ordering is broken — sync the file (and its directory) before publishing by rename", fn.Name.Name))
+	}
+	return fs
+}
+
+// checkDroppedErrors flags expression-statement calls to Close/Sync/Flush:
+// their error return is the only report of a failed write-back.
+func (d *Durability) checkDroppedErrors(pkg *Package, f *File) []Finding {
+	var fs []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Close", "Sync", "Flush":
+			fs = append(fs, pkg.Findingf(d.Name(), stmt.Pos(),
+				"error from %s() discarded on a durability path; assign it, or write `_ = x.%s()` to discard deliberately",
+				sel.Sel.Name, sel.Sel.Name))
+		}
+		return true
+	})
+	return fs
+}
+
+// calleeName extracts the called function's bare name ("" when the callee
+// is not a plain identifier or selector).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

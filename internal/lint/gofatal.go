@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// fatalFuncs end the calling goroutine via runtime.Goexit. From any
+// goroutine other than the one running the Test function that is a silent
+// no-op at best (the test keeps running as if the failure never happened)
+// and a "Fatal in goroutine after test completed" panic at worst.
+var fatalFuncs = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"FailNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+	"SkipNow": true,
+}
+
+// testingRecvs are the conventional receiver names for *testing.T/B/F.
+var testingRecvs = map[string]bool{"t": true, "b": true, "tb": true, "f": true}
+
+// GoroutineFatal flags t.Fatal / t.Fatalf / t.FailNow (and the Skip family)
+// inside `go func` literals in test files. The fix is t.Error plus return,
+// or sending the failure over a channel for the test goroutine to report.
+type GoroutineFatal struct{}
+
+// NewGoroutineFatal builds the check.
+func NewGoroutineFatal() *GoroutineFatal { return &GoroutineFatal{} }
+
+func (g *GoroutineFatal) Name() string { return "goroutine-fatal" }
+
+func (g *GoroutineFatal) Doc() string {
+	return "t.Fatal/t.Fatalf/t.FailNow (and Skip) inside a `go func` literal in a test: " +
+		"FailNow stops only the calling goroutine, so the test keeps running after the " +
+		"\"fatal\" failure — use t.Error and return, or channel the failure back to the " +
+		"test goroutine. Callbacks that receive their own *testing.T (t.Run subtests) " +
+		"are exempt."
+}
+
+func (g *GoroutineFatal) Check(pkg *Package) []Finding {
+	var fs []Finding
+	for _, f := range pkg.Files {
+		if !f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			fs = append(fs, g.scanGoroutine(pkg, lit)...)
+			return true
+		})
+	}
+	return fs
+}
+
+// scanGoroutine reports fatal calls lexically inside one goroutine literal,
+// pruning nested go statements (the outer walk visits them) and nested
+// literals that bind their own *testing.T/B (a t.Run subtest body runs on
+// its own test goroutine where Fatal is legal).
+func (g *GoroutineFatal) scanGoroutine(pkg *Package, lit *ast.FuncLit) []Finding {
+	var fs []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			if x != lit && bindsTestingParam(x) {
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || !fatalFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !testingRecvs[id.Name] {
+				return true
+			}
+			fs = append(fs, pkg.Findingf(g.Name(), x.Pos(),
+				"%s.%s inside a goroutine: FailNow only exits the calling goroutine — use %s.Error and return, or send the failure to the test goroutine over a channel",
+				id.Name, sel.Sel.Name, id.Name))
+		}
+		return true
+	})
+	return fs
+}
+
+// bindsTestingParam reports whether a func literal declares a parameter of
+// type *testing.T, *testing.B, or *testing.F.
+func bindsTestingParam(lit *ast.FuncLit) bool {
+	if lit.Type.Params == nil {
+		return false
+	}
+	for _, field := range lit.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "testing" {
+			switch sel.Sel.Name {
+			case "T", "B", "F":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// stdSentinels are well-known standard-library sentinels that don't follow
+// the Err* naming convention, keyed by import path.
+var stdSentinels = map[string]map[string]bool{
+	"io":      {"EOF": true},
+	"context": {"Canceled": true, "DeadlineExceeded": true},
+}
+
+// SentinelCompare flags == / != comparisons against exported error
+// sentinels — package-level Err* vars of the package under analysis, Err*
+// selectors on imported packages, and the well-known stdlib sentinels
+// (io.EOF, context.Canceled, context.DeadlineExceeded). Direct equality
+// stops matching the moment anyone wraps the error with fmt.Errorf("...:
+// %w", err); errors.Is survives wrapping.
+type SentinelCompare struct{}
+
+// NewSentinelCompare builds the check.
+func NewSentinelCompare() *SentinelCompare { return &SentinelCompare{} }
+
+func (s *SentinelCompare) Name() string { return "sentinel-compare" }
+
+func (s *SentinelCompare) Doc() string {
+	return "`err == ErrX` / `err != ErrX` against an exported error sentinel breaks as soon " +
+		"as a caller wraps the error with %w — use errors.Is(err, ErrX). Applies to this " +
+		"package's Err* vars, imported pkg.Err* selectors, io.EOF, and context.Canceled/" +
+		"DeadlineExceeded. (Comparisons in `switch err { case ... }` are out of scope.)"
+}
+
+func (s *SentinelCompare) Check(pkg *Package) []Finding {
+	pkgVars := packageErrVars(pkg)
+	var fs []Finding
+	for _, f := range pkg.Files {
+		imports := importNames(f.Ast)
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isNil(bin.X) || isNil(bin.Y) {
+				return true // `ErrX == nil` is not a matching bug
+			}
+			name := sentinelOperand(bin.X, imports, pkgVars)
+			if name == "" {
+				name = sentinelOperand(bin.Y, imports, pkgVars)
+			}
+			if name == "" {
+				return true
+			}
+			fs = append(fs, pkg.Findingf(s.Name(), bin.Pos(),
+				"comparison with error sentinel %s using %s; use errors.Is so wrapped errors still match",
+				name, bin.Op))
+			return true
+		})
+	}
+	return fs
+}
+
+// packageErrVars collects the package-level Err* variable names across all
+// files of the package, so a comparison in one file sees sentinels declared
+// in another.
+func packageErrVars(pkg *Package) map[string]bool {
+	vars := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Ast.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if isErrName(name.Name) {
+						vars[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// sentinelOperand names the sentinel an operand refers to, or "" if it is
+// not one. Selectors on local variables (re.ErrClass) are not sentinels.
+func sentinelOperand(e ast.Expr, imports map[string]string, pkgVars map[string]bool) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if pkgVars[x.Name] {
+			return x.Name
+		}
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		path, imported := imports[id.Name]
+		if !imported {
+			return ""
+		}
+		if isErrName(x.Sel.Name) || stdSentinels[path][x.Sel.Name] {
+			return id.Name + "." + x.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isErrName reports the exported-sentinel naming convention: "Err" followed
+// by an upper-case letter (so ErrClass matches but Error does not — type
+// names that merely start with Err are filtered out by requiring the name
+// to resolve to a package-level var or an imported selector compared as a
+// value).
+func isErrName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	return rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,35 @@
+// Package ctxpkg is a ctx-discipline fixture: contexts in struct fields and
+// in non-first parameter positions.
+package ctxpkg
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want:ctx-discipline
+	n   int
+}
+
+type embedded struct {
+	context.Context // want:ctx-discipline
+}
+
+func first(ctx context.Context, n int) {}
+
+func second(n int, ctx context.Context) {} // want:ctx-discipline
+
+func (h *holder) method(n int, ctx context.Context) {} // want:ctx-discipline
+
+type iface interface {
+	Good(ctx context.Context, n int)
+	Bad(n int, ctx context.Context) // want:ctx-discipline
+}
+
+var fn = func(s string, ctx context.Context) {} // want:ctx-discipline
+
+func variadicFirst(ctx context.Context, rest ...int) {}
+
+type callback func(n int, ctx context.Context) // want:ctx-discipline
+
+func noParams() {}
+
+func ctxOnly(ctx context.Context) {}

@@ -1,0 +1,34 @@
+// Package durportal is a durability-check fixture: a package whose write
+// paths carry crash-safety obligations (the test configures
+// Packages: ["durportal"]).
+package durportal
+
+import "os"
+
+// renameNoSync publishes by rename without ever syncing: the rename can be
+// durable while the renamed bytes are not.
+func renameNoSync(tmp, final string) error {
+	return os.Rename(tmp, final) // want:durability
+}
+
+// twoRenamesNoSync reports each rename in the unsynced function.
+func twoRenamesNoSync(a, b, c string) {
+	os.Rename(a, b) // want:durability
+	os.Rename(b, c) // want:durability
+}
+
+func dropsCloseError(f *os.File) {
+	f.Close() // want:durability
+}
+
+func dropsSyncError(f *os.File) {
+	f.Sync() // want:durability
+}
+
+type flusher struct{}
+
+func (flusher) Flush() error { return nil }
+
+func dropsFlushError(w flusher) {
+	w.Flush() // want:durability
+}

@@ -1,0 +1,52 @@
+package durportal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// renameAfterFsync follows the write→fsync→rename ordering.
+func renameAfterFsync(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// renameViaHelper counts any callee whose name contains "sync" as the sync
+// step (syncDir, writeFileSync, ...).
+func renameViaHelper(tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(final))
+}
+
+func handledClose(f *os.File) error { return f.Close() }
+
+func deliberateDiscard(f *os.File) {
+	_ = f.Close() // explicit discard is the documented escape hatch
+}
+
+// deferredClose is out of scope by policy: write paths here use the
+// `if cerr := f.Close(); err == nil { err = cerr }` idiom instead.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}
+
+func suppressedClose(f *os.File) {
+	//lint:ignore durability fixture: reasoned suppression is honored
+	f.Close()
+}

@@ -1,0 +1,13 @@
+package durportal
+
+import (
+	"os"
+	"testing"
+)
+
+// Test files are outside the durability scope by default: closing a
+// throwaway store in a test hides nothing.
+func TestCloseThrowaway(t *testing.T) {
+	f, _ := os.Create(t.TempDir() + "/x")
+	f.Close()
+}

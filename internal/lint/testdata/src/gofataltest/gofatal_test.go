@@ -1,0 +1,65 @@
+// Package gofataltest is a goroutine-fatal fixture: t.Fatal and friends
+// inside `go func` literals in test files.
+package gofataltest
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFatalInGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Fatal("boom") // want:goroutine-fatal
+	}()
+	go func(n int) {
+		t.Fatalf("boom %d", n) // want:goroutine-fatal
+		t.FailNow()            // want:goroutine-fatal
+		t.SkipNow()            // want:goroutine-fatal
+	}(1)
+	go func() {
+		t.Error("errors are fine: they mark the test failed without Goexit")
+		t.Logf("logging is fine too")
+	}()
+	go namedWorker(t) // named functions are out of scope (documented)
+	wg.Wait()
+	t.Fatal("the test goroutine itself may Fatal")
+}
+
+func namedWorker(t *testing.T) {}
+
+func TestSubtestInsideGoroutineIsExempt(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Run("sub", func(t *testing.T) {
+			t.Fatal("a subtest body runs on its own test goroutine")
+		})
+		t.Fatalf("outside the subtest it is a bug again") // want:goroutine-fatal
+	}()
+	wg.Wait()
+}
+
+func TestNestedGoroutinesReportOnce(t *testing.T) {
+	go func() {
+		go func() {
+			t.Fatal("inner") // want:goroutine-fatal
+		}()
+	}()
+}
+
+func TestSuppressed(t *testing.T) {
+	go func() {
+		//lint:ignore goroutine-fatal fixture: reasoned suppression is honored
+		t.Fatal("suppressed")
+	}()
+}
+
+func BenchmarkFatalInGoroutine(b *testing.B) {
+	go func() {
+		b.Fatal("boom") // want:goroutine-fatal
+	}()
+}

@@ -1,0 +1,14 @@
+// Non-test files are outside the goroutine-fatal scope: the t/b receiver
+// heuristic only means something inside _test.go files.
+package gofataltest
+
+type tLike struct{}
+
+func (tLike) Fatal(args ...any) {}
+
+func notATest() {
+	var t tLike
+	go func() {
+		t.Fatal("not a testing.T in a test file")
+	}()
+}

@@ -1,0 +1,31 @@
+// Package ignores exercises //lint:ignore directive handling: honored
+// suppressions (standalone and trailing), malformed directives, and
+// directives naming unknown checks. The expectations live in lint_test.go
+// rather than want markers, because the findings under test are about the
+// directives themselves.
+package ignores
+
+import "context"
+
+type suppressed struct {
+	//lint:ignore ctx-discipline fixture: admission-scoped carrier
+	ctx context.Context
+}
+
+type trailing struct {
+	ctx context.Context //lint:ignore ctx-discipline fixture: trailing directive covers its own line
+}
+
+type unsuppressed struct {
+	ctx context.Context
+}
+
+//lint:ignore ctx-discipline
+type missingReason struct {
+	ctx context.Context
+}
+
+//lint:ignore no-such-check the check name does not exist
+type unknownCheck struct {
+	ctx context.Context
+}

@@ -1,0 +1,58 @@
+package sentinelpkg
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+)
+
+func compare(err error) bool {
+	if err == ErrBoom { // want:sentinel-compare
+		return true
+	}
+	if ErrGone != err { // want:sentinel-compare
+		return true
+	}
+	if err == io.EOF { // want:sentinel-compare
+		return true
+	}
+	if err != context.Canceled { // want:sentinel-compare
+		return true
+	}
+	if err == context.DeadlineExceeded { // want:sentinel-compare
+		return true
+	}
+	if err == http.ErrServerClosed { // want:sentinel-compare
+		return true
+	}
+	return false
+}
+
+func clean(err error) bool {
+	if errors.Is(err, ErrBoom) || errors.Is(err, io.EOF) {
+		return true
+	}
+	if err == errLocal { // unexported: out of convention, not flagged
+		return true
+	}
+	if ErrStale == nil { // nil comparison is a different bug, not flagged
+		return true
+	}
+	return err == nil
+}
+
+type response struct {
+	ErrClass int
+}
+
+// fieldSelectorsAreNotSentinels: re.ErrClass is a field on a local value,
+// not an imported package selector.
+func fieldSelectorsAreNotSentinels(re response, class int) bool {
+	return re.ErrClass == class
+}
+
+func suppressed(err error) bool {
+	//lint:ignore sentinel-compare fixture: reasoned suppression is honored
+	return err == ErrBoom
+}

@@ -1,0 +1,16 @@
+// Package sentinelpkg is a sentinel-compare fixture. The sentinels are
+// declared in this file and compared in cmp.go, proving the package-scope
+// pass sees across files.
+package sentinelpkg
+
+import "errors"
+
+var ErrBoom = errors.New("sentinelpkg: boom")
+
+var (
+	ErrGone  = errors.New("sentinelpkg: gone")
+	ErrStale = errors.New("sentinelpkg: stale")
+)
+
+// errLocal is unexported: the Err* convention covers exported sentinels.
+var errLocal = errors.New("sentinelpkg: local")

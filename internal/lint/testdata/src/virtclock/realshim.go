@@ -1,0 +1,17 @@
+package virtclock
+
+import "time"
+
+// Real is the fixture's RealClock analogue; the test allowlists
+// "virtclock/realshim.go:Real.Now" and "virtclock/realshim.go:Real.Sleep",
+// proving the per-function allow seam.
+type Real struct{}
+
+func (Real) Now() time.Time { return time.Now() }
+
+func (*Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NotAllowed is in the same file but not on the allowlist.
+func (Real) NotAllowed() time.Time {
+	return time.Now() // want:wallclock
+}

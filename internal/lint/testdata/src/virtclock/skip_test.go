@@ -1,0 +1,16 @@
+package virtclock
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are outside the wallclock scope by default: wall-clock
+// watchdogs guarding virtual-time assertions are legitimate.
+func TestWatchdog(t *testing.T) {
+	select {
+	case <-time.After(time.Second):
+	default:
+	}
+	_ = time.Now()
+}

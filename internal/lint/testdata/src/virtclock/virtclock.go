@@ -1,0 +1,50 @@
+// Package virtclock is a wallclock-check fixture: a package under
+// virtual-time discipline (the test configures Packages: ["virtclock"]).
+package virtclock
+
+import (
+	"time"
+	stdtime "time"
+)
+
+// Clock is the injected time source, standing in for sim.Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+func readsWallClock(c Clock) time.Duration {
+	start := time.Now()          // want:wallclock
+	time.Sleep(time.Millisecond) // want:wallclock
+	<-time.After(time.Second)    // want:wallclock
+	<-time.Tick(time.Second)     // want:wallclock
+	return time.Since(start)     // want:wallclock
+}
+
+func timersToo() {
+	_ = time.NewTimer(time.Second)         // want:wallclock
+	_ = time.NewTicker(time.Second)        // want:wallclock
+	time.AfterFunc(time.Second, func() {}) // want:wallclock
+	_ = time.Until(time.Time{})            // want:wallclock
+}
+
+// aliased imports of the time package are still the wall clock.
+func aliased() time.Time {
+	return stdtime.Now() // want:wallclock
+}
+
+func usesInjectedClock(c Clock) time.Duration {
+	start := c.Now()
+	c.Sleep(5 * time.Minute)
+	return c.Now().Sub(start)
+}
+
+// durations and formatting are fine: only clock access is banned.
+func durationsAreFine() time.Duration {
+	return 3 * time.Second
+}
+
+func suppressed() time.Time {
+	//lint:ignore wallclock fixture: a reasoned suppression silences one site
+	return time.Now()
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the time-package calls that read or advance the wall
+// clock. Inside a virtual-time package every one of them is a timing bug:
+// campaign makespans are measured on per-workcell sim.Clock instances, and a
+// wall-clock read bypasses the clock the benchmarks trust.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallclockConfig scopes the wallclock check.
+type WallclockConfig struct {
+	// Packages lists the directory prefixes (relative to the Runner root)
+	// under virtual-time discipline.
+	Packages []string
+	// Allow exempts genuinely wall-clock sites. Entries are either a file
+	// path ("internal/fleet/registry.go": the whole file runs on real time)
+	// or "file.go:Func" / "file.go:Recv.Method" for a single function.
+	Allow []string
+	// IncludeTests extends the check to _test.go files. Off by default:
+	// tests legitimately use wall-clock watchdogs (time.After deadlocks
+	// guards) around virtual-time assertions.
+	IncludeTests bool
+}
+
+// Wallclock forbids direct time-package clock access in virtual-time
+// packages.
+type Wallclock struct{ cfg WallclockConfig }
+
+// NewWallclock builds the check from a config; see DefaultAnalyzers for the
+// repository policy.
+func NewWallclock(cfg WallclockConfig) *Wallclock { return &Wallclock{cfg: cfg} }
+
+func (w *Wallclock) Name() string { return "wallclock" }
+
+func (w *Wallclock) Doc() string {
+	return "time.Now/Sleep/After/Tick/Since (and timer constructors) are forbidden in " +
+		"virtual-time packages: campaign timing flows through sim.Clock, and a stray " +
+		"wall-clock read silently corrupts every makespan/speedup number. " +
+		"Genuinely real-time sites (the registry health prober, the churn harness) are " +
+		"exempted via the config allowlist or //lint:ignore."
+}
+
+func (w *Wallclock) Check(pkg *Package) []Finding {
+	var fs []Finding
+	for _, f := range pkg.Files {
+		if !underAny(f.Path, w.cfg.Packages) {
+			continue
+		}
+		if f.Test && !w.cfg.IncludeTests {
+			continue
+		}
+		if w.allowed(f.Path, "") {
+			continue // whole file exempt
+		}
+		imports := importNames(f.Ast)
+		for _, decl := range f.Ast.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if w.allowed(f.Path, funcID(fn)) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for name := range wallclockFuncs {
+					if pos, ok := pkgCall(call, imports, "time", name); ok {
+						fs = append(fs, pkg.Findingf(w.Name(), pos,
+							"time.%s reads the wall clock in a virtual-time package; use the injected sim.Clock (allow-list the site in DefaultAnalyzers if it is genuinely real-time)",
+							name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// allowed matches a file (fn == "") or file:function against the allowlist.
+func (w *Wallclock) allowed(path, fn string) bool {
+	for _, a := range w.cfg.Allow {
+		if fn == "" && a == path {
+			return true
+		}
+		if fn != "" && (a == path || a == path+":"+fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcID names a FuncDecl for allowlist matching: "Func" for functions,
+// "Recv.Method" for methods (pointer receivers use the base type name).
+func funcID(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fn.Name.Name
+		default:
+			return fn.Name.Name
+		}
+	}
+}

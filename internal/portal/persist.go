@@ -218,12 +218,12 @@ func OpenStoreWith(dir string, opts Options) (*Store, error) {
 	// The OpenFile may just have created the segment: make its directory
 	// entry durable before any batch is acknowledged out of it.
 	if err := syncDir(filepath.Join(dir, segmentDirName)); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; nothing durable was written yet
 		return nil, fmt.Errorf("portal: open segment: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already failing; nothing durable was written yet
 		return nil, fmt.Errorf("portal: open segment: %w", err)
 	}
 	log.f, log.w, log.size = f, bufio.NewWriter(f), st.Size()
@@ -234,12 +234,12 @@ func OpenStoreWith(dir string, opts Options) (*Store, error) {
 	if log.size > 0 {
 		tail := make([]byte, 1)
 		if _, err := f.ReadAt(tail, log.size-1); err != nil {
-			f.Close()
+			_ = f.Close() // already failing; nothing durable was written yet
 			return nil, fmt.Errorf("portal: open segment: %w", err)
 		}
 		if tail[0] != '\n' {
 			if _, err := f.Write([]byte("\n")); err != nil {
-				f.Close()
+				_ = f.Close() // already failing; nothing durable was written yet
 				return nil, fmt.Errorf("portal: repair segment boundary: %w", err)
 			}
 			log.size++
@@ -737,7 +737,9 @@ func (l *segmentLog) rotate() error {
 		return fmt.Errorf("portal: rotate segment: %w", err)
 	}
 	if err := syncDir(filepath.Join(l.dir, segmentDirName)); err != nil {
-		f.Close()
+		// The rotation is failing and poisons the log; the fresh, empty
+		// segment's close error cannot matter beyond that.
+		_ = f.Close()
 		return fmt.Errorf("portal: rotate segment: %w", err)
 	}
 	l.f, l.w, l.size = f, bufio.NewWriter(f), 0
@@ -748,7 +750,9 @@ func (l *segmentLog) rotate() error {
 func (l *segmentLog) close() error {
 	defer l.unlock()
 	if err := l.w.Flush(); err != nil {
-		l.f.Close()
+		// The flush failure is the error to surface; the close error is
+		// subsumed by it (the committed prefix is still replayable).
+		_ = l.f.Close()
 		return fmt.Errorf("portal: flush segment: %w", err)
 	}
 	return l.f.Close()

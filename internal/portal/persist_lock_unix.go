@@ -20,8 +20,10 @@ func lockDataDir(dir string) (release func(), err error) {
 		return nil, fmt.Errorf("portal: lock data dir: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close() // lock not acquired; no write happened through this fd
 		return nil, fmt.Errorf("portal: data dir %s is locked by another process", dir)
 	}
-	return func() { f.Close() }, nil
+	// Closing the fd releases the flock; the LOCK file carries no data, so
+	// the close error is deliberately discarded.
+	return func() { _ = f.Close() }, nil
 }

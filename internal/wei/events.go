@@ -2,6 +2,7 @@ package wei
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -128,7 +129,7 @@ func ReadEventsJSON(r io.Reader) ([]Event, error) {
 	var out []Event
 	for {
 		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
 			return out, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("wei: decode event log: %w", err)

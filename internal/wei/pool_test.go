@@ -2,6 +2,7 @@ package wei
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -43,7 +44,7 @@ func TestRunWorkflowCanceledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	rec, err := eng.RunWorkflow(ctx, wfOneStep(), nil)
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if len(rec.Steps) != 0 {
@@ -68,7 +69,7 @@ func TestRunWorkflowCanceledBetweenSteps(t *testing.T) {
 	eng := NewEngine(reg, clock, NewEventLog(clock))
 
 	rec, err := eng.RunWorkflow(ctx, wfOneStep(), nil)
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if len(rec.Steps) != 1 {
