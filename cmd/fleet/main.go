@@ -63,6 +63,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -97,8 +99,16 @@ func main() {
 		churnCells = flag.Int("churn-cells", 0, "run the campaigns against N in-process churnable workcell servers (the churning-fleet benchmark pool)")
 		churnSpec  = flag.String("churn", "", `kill/restart schedule "cell@killAt+downtime,..." for the -churn-cells pool (omit +downtime to kill for good)`)
 		actDelay   = flag.Duration("act-delay", 0, "real-time delay per action command on -churn-cells servers, so scheduled kills land mid-campaign")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := fleetConfig{
 		lanes:      *lanes,
@@ -186,7 +196,13 @@ func main() {
 		stop := pool.Schedule(churnEvents)
 		defer stop()
 	}
+	// Host wall-clock cost of the run — the price of every CI invocation,
+	// as opposed to the virtual workcell time the summary reports. Measured
+	// here rather than in internal/fleet, which is a virtual-time package
+	// (archlint's wallclock check keeps time.Now out of it).
+	wallStart := time.Now()
 	res, err := fleet.Run(context.Background(), campaigns, opts)
+	wallSeconds := time.Since(wallStart).Seconds()
 	if err != nil {
 		fatal(err)
 	}
@@ -211,13 +227,59 @@ func main() {
 				scenario = "churn"
 			}
 		}
-		if err := writeBench(*benchOut, scenario, buildBench(s, len(churnEvents))); err != nil {
+		if err := writeBench(*benchOut, scenario, buildBench(s, len(churnEvents), wallSeconds)); err != nil {
 			fatal(err)
 		}
 	}
 	if res.Failed > 0 {
+		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// startProfiles enables CPU and/or heap profiling per the -cpuprofile and
+// -memprofile flags. The returned stop function is idempotent, so it can run
+// both deferred and explicitly before os.Exit paths (which skip defers).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fleet: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // fleetConfig is the subset of flag state with cross-flag constraints,
@@ -300,6 +362,12 @@ type benchOutput struct {
 	QueueWaitSeconds   float64   `json:"queue_wait_seconds"`
 	MeanUtilization    float64   `json:"mean_utilization"`
 	PerCellUtilization []float64 `json:"per_cell_utilization"`
+	// WallSeconds is host wall-clock time for the whole run — the real cost
+	// of a CI invocation, unlike the virtual-time makespan above — and
+	// CampaignsPerWallSecond the corresponding throughput. CI floor-asserts
+	// the latter so hot-loop regressions are visible PR over PR.
+	WallSeconds            float64 `json:"wall_seconds"`
+	CampaignsPerWallSecond float64 `json:"campaigns_per_wall_second"`
 }
 
 // benchFile is the on-disk -bench-out shape: one entry per scenario, so the
@@ -311,7 +379,7 @@ type benchFile struct {
 // buildBench extracts the benchmark slice of a run summary. Lost counts
 // campaigns the scheduler never accounted for — it must be zero; a non-zero
 // value means the fleet dropped work on the floor.
-func buildBench(s summary, churnEvents int) benchOutput {
+func buildBench(s summary, churnEvents int, wallSeconds float64) benchOutput {
 	b := benchOutput{
 		Campaigns:         s.Campaigns,
 		Workcells:         s.Workcells,
@@ -325,6 +393,10 @@ func buildBench(s summary, churnEvents int) benchOutput {
 		Speedup:           s.Speedup,
 		CampaignsPerHour:  s.CampaignsPerHour,
 		QueueWaitSeconds:  s.QueueWaitSeconds,
+		WallSeconds:       wallSeconds,
+	}
+	if wallSeconds > 0 {
+		b.CampaignsPerWallSecond = float64(s.Completed) / wallSeconds
 	}
 	for _, wc := range s.PerWorkcell {
 		b.PerCellUtilization = append(b.PerCellUtilization, wc.Utilization)

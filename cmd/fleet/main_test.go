@@ -78,13 +78,16 @@ func TestSummarizeLanesAndBenchOut(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
-	if err := writeBench(path, "lanes", buildBench(s, 0)); err != nil {
+	if err := writeBench(path, "lanes", buildBench(s, 0, 1.5)); err != nil {
 		t.Fatal(err)
 	}
 	f := readBenchFile(t, path)
 	b := f.Scenarios["lanes"]
 	if b.LanesPerCell != 2 || b.Completed != 4 || b.MakespanSeconds <= 0 || b.Speedup <= 1 {
 		t.Fatalf("bench output = %+v", b)
+	}
+	if b.WallSeconds != 1.5 || b.CampaignsPerWallSecond != float64(b.Completed)/1.5 {
+		t.Fatalf("wall-clock fields = %v, %v", b.WallSeconds, b.CampaignsPerWallSecond)
 	}
 	if b.MeanUtilization <= 0 || len(b.PerCellUtilization) != 1 {
 		t.Fatalf("utilization missing: %+v", b)

@@ -13,7 +13,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 )
@@ -54,8 +53,11 @@ func (RealClock) Sleep(d time.Duration) {
 //
 // The zero value is not usable; construct with NewSimClock.
 type SimClock struct {
-	mu      sync.Mutex
-	now     time.Time
+	mu  sync.Mutex
+	now time.Time
+	// sleeper is a binary min-heap ordered by deadline, so each advance costs
+	// O(log n) instead of the O(n log n) full sort the first implementation
+	// paid on every wake-up cycle.
 	sleeper []*simSleeper
 	// waiters counts goroutines currently registered via AddWorker that the
 	// clock should wait for before advancing time. When zero, any Sleep
@@ -65,7 +67,57 @@ type SimClock struct {
 
 type simSleeper struct {
 	deadline time.Time
-	ch       chan struct{}
+	// ch carries the wake-up signal. It is buffered so the clock can send
+	// without blocking, and signaled by send rather than close so the sleeper
+	// can return to sleeperPool and be reused for a later Sleep.
+	ch chan struct{}
+}
+
+// sleeperPool recycles simSleepers (and their channels) across Sleep calls;
+// a steady-state simulation sleeps allocation-free.
+var sleeperPool = sync.Pool{
+	New: func() any { return &simSleeper{ch: make(chan struct{}, 1)} },
+}
+
+// push adds s to the deadline min-heap. Caller holds c.mu.
+func (c *SimClock) push(s *simSleeper) {
+	c.sleeper = append(c.sleeper, s)
+	h := c.sleeper
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h[i].deadline.Before(h[parent].deadline) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest-deadline sleeper. Caller holds c.mu.
+func (c *SimClock) pop() *simSleeper {
+	h := c.sleeper
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil // release the reference so the heap's spare capacity doesn't pin it
+	c.sleeper = h[:n]
+	h = c.sleeper
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h[right].deadline.Before(h[left].deadline) {
+			min = right
+		}
+		if !h[min].deadline.Before(h[i].deadline) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // NewSimClock returns a SimClock starting at Epoch.
@@ -116,27 +168,24 @@ func (c *SimClock) Sleep(d time.Duration) {
 		c.mu.Unlock()
 		return
 	}
-	s := &simSleeper{deadline: c.now.Add(d), ch: make(chan struct{})}
-	c.sleeper = append(c.sleeper, s)
+	s := sleeperPool.Get().(*simSleeper)
+	s.deadline = c.now.Add(d)
+	c.push(s)
 	c.advanceLocked()
 	c.mu.Unlock()
 	<-s.ch
+	sleeperPool.Put(s)
 }
 
 // advanceLocked wakes sleepers and advances time while all workers are
 // blocked. Caller holds c.mu.
 func (c *SimClock) advanceLocked() {
 	for {
-		// Wake every sleeper whose deadline has passed.
-		kept := c.sleeper[:0]
-		for _, s := range c.sleeper {
-			if !s.deadline.After(c.now) {
-				close(s.ch)
-			} else {
-				kept = append(kept, s)
-			}
+		// Wake every sleeper whose deadline has passed, earliest first.
+		for len(c.sleeper) > 0 && !c.sleeper[0].deadline.After(c.now) {
+			s := c.pop()
+			s.ch <- struct{}{}
 		}
-		c.sleeper = kept
 		if len(c.sleeper) == 0 {
 			return
 		}
@@ -144,9 +193,6 @@ func (c *SimClock) advanceLocked() {
 		if c.workers > 0 && len(c.sleeper) < c.workers {
 			return
 		}
-		sort.Slice(c.sleeper, func(i, j int) bool {
-			return c.sleeper[i].deadline.Before(c.sleeper[j].deadline)
-		})
 		c.now = c.sleeper[0].deadline
 	}
 }

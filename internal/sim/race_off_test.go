@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool intentionally drops a fraction of Puts to shake out lifetime
+// bugs, so allocation-exactness assertions only hold without it.
+const raceEnabled = false

@@ -66,6 +66,18 @@ func (g *RNG) Normal(mean, stddev float64) float64 {
 	return mean + stddev*g.NormFloat64()
 }
 
+// NormFloat64Fill fills dst with standard normal deviates, taking the stream
+// lock once for the whole batch instead of once per draw. The values are
+// exactly the ones len(dst) consecutive NormFloat64 calls would return, so
+// batching a hot loop's draws does not perturb the stream.
+func (g *RNG) NormFloat64Fill(dst []float64) {
+	g.mu.Lock()
+	for i := range dst {
+		dst[i] = g.r.NormFloat64()
+	}
+	g.mu.Unlock()
+}
+
 // Uniform returns a uniform value in [lo, hi).
 func (g *RNG) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*g.Float64()

@@ -55,12 +55,23 @@ type Solver struct {
 
 	samples []solver.Sample
 	best    *solver.Sample
+
+	// gp and the training-view slices persist across Propose calls so the
+	// per-iteration kernel matrix, Cholesky factor, and solve vectors are
+	// allocated once and reused for the rest of the campaign.
+	gp GP
+	xs [][]float64
+	ys []float64
 }
 
 // New returns a Bayesian solver seeded by rng.
 func New(rng *sim.RNG, opts Options) *Solver {
 	opts.defaults()
-	return &Solver{opts: opts, rng: rng}
+	return &Solver{
+		opts: opts,
+		rng:  rng,
+		gp:   GP{Kernel: Matern52{LengthScale: 0.25, Variance: 1}, Noise: 0.01},
+	}
 }
 
 // Name implements solver.Solver.
@@ -84,17 +95,18 @@ func (s *Solver) Propose(n int) [][]float64 {
 		return out
 	}
 
-	gp := &GP{Kernel: Matern52{LengthScale: 0.25, Variance: 1}, Noise: 0.01}
+	gp := &s.gp
 	train := s.samples
 	if len(train) > s.opts.MaxTrain {
 		train = train[len(train)-s.opts.MaxTrain:]
 	}
-	xs := make([][]float64, len(train))
-	ys := make([]float64, len(train))
-	for i, smp := range train {
-		xs[i] = smp.Ratios
-		ys[i] = smp.Score
+	xs := s.xs[:0]
+	ys := s.ys[:0]
+	for _, smp := range train {
+		xs = append(xs, smp.Ratios)
+		ys = append(ys, smp.Score)
 	}
+	s.xs, s.ys = xs, ys
 	if err := gp.Fit(xs, ys); err != nil {
 		// Degenerate covariance (e.g. duplicate points): fall back to random.
 		out := make([][]float64, n)
@@ -168,7 +180,7 @@ func (s *Solver) perturb(x []float64) []float64 {
 	for i := range out {
 		out[i] = x[i] + s.rng.Normal(0, 0.05)
 	}
-	return solver.Normalize(out)
+	return solver.NormalizeInPlace(out)
 }
 
 func tooClose(x []float64, chosen [][]float64, minDist float64) bool {

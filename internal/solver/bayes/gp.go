@@ -55,16 +55,23 @@ func (k Matern52) Eval(a, b []float64) float64 {
 }
 
 // GP is a Gaussian-process regressor with fixed hyperparameters and
-// standardized targets.
+// standardized targets. A GP may be refit repeatedly: the kernel matrix,
+// Cholesky factor, and solve vectors are scratch that Fit and Predict reuse
+// across calls, so one GP must not be shared between goroutines.
 type GP struct {
 	Kernel Kernel
 	Noise  float64 // observation noise variance (on standardized targets)
 
-	x     [][]float64
-	chol  *linalg.Matrix
-	alpha []float64
-	meanY float64
-	stdY  float64
+	x      [][]float64
+	fitted bool
+	k      linalg.Matrix // kernel matrix scratch
+	chol   linalg.Matrix // Cholesky factor of k
+	ys     []float64     // standardized targets scratch
+	alpha  []float64
+	kstar  []float64 // Predict scratch: covariances to training points
+	v      []float64 // Predict scratch: forward-solve result
+	meanY  float64
+	stdY   float64
 }
 
 // ErrNoData reports prediction before fitting.
@@ -91,12 +98,17 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if g.stdY < 1e-9 {
 		g.stdY = 1
 	}
-	ys := make([]float64, n)
+	if cap(g.ys) < n {
+		g.ys = make([]float64, n)
+	}
+	ys := g.ys[:n]
+	g.ys = ys
 	for i, v := range y {
 		ys[i] = (v - g.meanY) / g.stdY
 	}
 
-	k := linalg.NewMatrix(n, n)
+	k := &g.k
+	k.Resize(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			v := g.Kernel.Eval(x[i], x[j])
@@ -105,28 +117,33 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		}
 		k.Set(i, i, k.At(i, i)+g.Noise)
 	}
-	chol, err := linalg.Cholesky(k)
-	if err != nil {
+	if err := linalg.CholeskyInto(&g.chol, k); err != nil {
+		g.fitted = false
 		return fmt.Errorf("bayes: %w", err)
 	}
-	g.chol = chol
-	g.alpha = linalg.CholSolve(chol, ys)
+	g.fitted = true
+	g.alpha = linalg.CholSolveInto(g.alpha, &g.chol, ys)
 	return nil
 }
 
 // Predict returns the posterior mean and standard deviation at x, in the
 // original target units.
 func (g *GP) Predict(x []float64) (mean, std float64, err error) {
-	if g.chol == nil {
+	if !g.fitted {
 		return 0, 0, ErrNoData
 	}
 	n := len(g.x)
-	kstar := make([]float64, n)
+	if cap(g.kstar) < n {
+		g.kstar = make([]float64, n)
+	}
+	kstar := g.kstar[:n]
+	g.kstar = kstar
 	for i := range g.x {
 		kstar[i] = g.Kernel.Eval(x, g.x[i])
 	}
 	mu := linalg.Dot(kstar, g.alpha)
-	v := linalg.SolveLower(g.chol, kstar)
+	v := linalg.SolveLowerInto(g.v, &g.chol, kstar)
+	g.v = v
 	variance := g.Kernel.Eval(x, x) - linalg.Dot(v, v)
 	if variance < 0 {
 		variance = 0

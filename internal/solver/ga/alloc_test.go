@@ -1,0 +1,28 @@
+package ga
+
+import (
+	"testing"
+
+	"colormatch/internal/sim"
+	"colormatch/internal/solver"
+)
+
+// TestProposeAllocBound bounds the steady-state allocation cost of one GA
+// proposal batch. Propose necessarily allocates its result — the batch slice
+// plus one ratio vector per slot, which callers retain — so the bound is
+// n+1 allocations for a batch of n, with nothing extra leaking from the
+// crossover/mutation internals.
+func TestProposeAllocBound(t *testing.T) {
+	const n = 8
+	s := New(sim.NewRNG(1), Options{RandomInit: true})
+	props := s.Propose(16)
+	samples := make([]solver.Sample, len(props))
+	for i, p := range props {
+		samples[i] = solver.Sample{Ratios: p, Score: float64(i)}
+	}
+	s.Observe(samples)
+	got := testing.AllocsPerRun(100, func() { _ = s.Propose(n) })
+	if got > n+1 {
+		t.Fatalf("Propose(%d) allocates %.1f times per call, want <= %d (result slices only)", n, got, n+1)
+	}
+}

@@ -172,7 +172,7 @@ func (s *Solver) crossover() []float64 {
 	for i := range out {
 		out[i] = (a.Ratios[i] + b.Ratios[i]) / 2
 	}
-	return solver.Normalize(out)
+	return solver.NormalizeInPlace(out)
 }
 
 // mutate randomly shifts the ratios of a selected element.
@@ -187,7 +187,7 @@ func (s *Solver) mutate() []float64 {
 			out[i] += s.rng.Uniform(0, m/4)
 		}
 	}
-	return solver.Normalize(out)
+	return solver.NormalizeInPlace(out)
 }
 
 func clone(v []float64) []float64 {

@@ -93,26 +93,36 @@ func Best(samples []Sample) (Sample, bool) {
 
 // Normalize clamps negatives to zero and scales the vector to sum to one;
 // an all-zero vector becomes uniform. Every solver funnels proposals through
-// this so the OT-2 always receives a mixable recipe.
+// this so the OT-2 always receives a mixable recipe. The input is left
+// unchanged; use NormalizeInPlace when the caller owns the slice.
 func Normalize(ratios []float64) []float64 {
 	out := make([]float64, len(ratios))
+	copy(out, ratios)
+	return NormalizeInPlace(out)
+}
+
+// NormalizeInPlace is Normalize operating directly on ratios, for hot paths
+// that build a fresh vector and would otherwise pay a second allocation for
+// the normalized copy. It returns ratios for call-chaining.
+func NormalizeInPlace(ratios []float64) []float64 {
 	total := 0.0
 	for i, r := range ratios {
 		if r > 0 {
-			out[i] = r
 			total += r
+		} else {
+			ratios[i] = 0
 		}
 	}
 	if total == 0 {
-		for i := range out {
-			out[i] = 1 / float64(len(out))
+		for i := range ratios {
+			ratios[i] = 1 / float64(len(ratios))
 		}
-		return out
+		return ratios
 	}
-	for i := range out {
-		out[i] /= total
+	for i := range ratios {
+		ratios[i] /= total
 	}
-	return out
+	return ratios
 }
 
 // RandomSimplex draws a uniform point on the probability simplex of the

@@ -49,11 +49,40 @@ func DefaultParams() Params {
 	return Params{RMin: 9, RMax: 14, MagThresh: 60, MinSupport: 0.5}
 }
 
+// Scratch holds the accumulator and candidate buffers for the transform so a
+// long campaign of same-sized photos allocates them once. The slice returned
+// by CirclesScratch is backed by it and only valid until the next call.
+type Scratch struct {
+	acc    []int32
+	smooth []int32
+	rowSum []int32
+	cands  []Circle
+	out    []Circle
+}
+
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Circles runs a gradient-voting circle Hough transform over the region of g.
 // Each strong edge pixel votes for centers at distance r along ±gradient for
 // every candidate radius. Local accumulator maxima with sufficient perimeter
 // support are returned, strongest first, after non-maximum suppression.
 func Circles(g *raster.Gray, region Rect, p Params) []Circle {
+	return CirclesScratch(g, region, p, &Scratch{})
+}
+
+// CirclesScratch is Circles with caller-owned scratch buffers. The gradient is
+// computed and consumed in a single fused pass over the region — no full-image
+// Sobel planes are materialized — and all accumulator memory lives in s.
+func CirclesScratch(g *raster.Gray, region Rect, p Params, s *Scratch) []Circle {
 	if p.RMin <= 0 || p.RMax < p.RMin {
 		return nil
 	}
@@ -74,29 +103,62 @@ func Circles(g *raster.Gray, region Rect, p Params) []Circle {
 	if w <= 0 || h <= 0 {
 		return nil
 	}
-	mag, dir := raster.Sobel(g)
 	nr := p.RMax - p.RMin + 1
-	acc := make([]int32, nr*w*h)
-	idx := func(ri, x, y int) int { return ri*w*h + (y-region.Y0)*w + (x - region.X0) }
+	s.acc = grow(s.acc, nr*w*h)
+	acc := s.acc
 
-	for y := region.Y0; y < region.Y1; y++ {
-		for x := region.X0; x < region.X1; x++ {
-			m := mag.At(x, y)
+	// Fused gradient+vote pass. A pixel's votes depend only on its own 3×3
+	// Sobel neighborhood, so there is no need to materialize full magnitude
+	// and direction planes: compute the gradient where it is needed (the
+	// region, minus the image border where Sobel is defined as zero) and cast
+	// votes immediately. cos/sin of the gradient angle are gx/m and gy/m —
+	// same direction vector the atan2-based formulation produced, without the
+	// transcendental round trip.
+	gx0, gy0 := region.X0, region.Y0
+	if gx0 < 1 {
+		gx0 = 1
+	}
+	if gy0 < 1 {
+		gy0 = 1
+	}
+	gx1, gy1 := region.X1, region.Y1
+	if gx1 > g.W-1 {
+		gx1 = g.W - 1
+	}
+	if gy1 > g.H-1 {
+		gy1 = g.H - 1
+	}
+	gw := g.W
+	for y := gy0; y < gy1; y++ {
+		up := g.Pix[(y-1)*gw : y*gw]
+		mid := g.Pix[y*gw : (y+1)*gw]
+		dn := g.Pix[(y+1)*gw : (y+2)*gw]
+		for x := gx0; x < gx1; x++ {
+			gx := -up[x-1] + up[x+1] +
+				-2*mid[x-1] + 2*mid[x+1] +
+				-dn[x-1] + dn[x+1]
+			gy := -up[x-1] - 2*up[x] - up[x+1] +
+				dn[x-1] + 2*dn[x] + dn[x+1]
+			m := math.Hypot(gx, gy)
 			if m < p.MagThresh {
 				continue
 			}
-			d := dir.At(x, y)
-			cs, sn := math.Cos(d), math.Sin(d)
+			cs, sn := gx/m, gy/m
+			fx, fy := float64(x), float64(y)
 			for ri := 0; ri < nr; ri++ {
 				r := float64(p.RMin + ri)
 				// Vote on both sides: wells may be darker or lighter than
 				// the plate, so the gradient can point either way.
-				for _, sgn := range [2]float64{1, -1} {
-					cx := int(float64(x) + sgn*r*cs + 0.5)
-					cy := int(float64(y) + sgn*r*sn + 0.5)
-					if region.Contains(cx, cy) {
-						acc[idx(ri, cx, cy)]++
-					}
+				plane := acc[ri*w*h : (ri+1)*w*h]
+				cx := int(fx + r*cs + 0.5)
+				cy := int(fy + r*sn + 0.5)
+				if region.Contains(cx, cy) {
+					plane[(cy-region.Y0)*w+(cx-region.X0)]++
+				}
+				cx = int(fx - r*cs + 0.5)
+				cy = int(fy - r*sn + 0.5)
+				if region.Contains(cx, cy) {
+					plane[(cy-region.Y0)*w+(cx-region.X0)]++
 				}
 			}
 		}
@@ -104,8 +166,12 @@ func Circles(g *raster.Gray, region Rect, p Params) []Circle {
 
 	// Quantization spreads a circle's votes over a small neighborhood of the
 	// true center, so peaks are found on a 3×3 box sum of each radius plane.
-	var cands []Circle
-	smooth := make([]int32, w*h)
+	// The box sum is separable: horizontal clamped 3-sums into rowSum, then a
+	// vertical 3-sum of those — identical integers to the direct 9-point sum.
+	cands := s.cands[:0]
+	s.smooth = grow(s.smooth, w*h)
+	s.rowSum = grow(s.rowSum, w*h)
+	smooth, rowSum := s.smooth, s.rowSum
 	for ri := 0; ri < nr; ri++ {
 		r := float64(p.RMin + ri)
 		minVotes := int32(p.MinSupport * 2 * math.Pi * r)
@@ -114,22 +180,34 @@ func Circles(g *raster.Gray, region Rect, p Params) []Circle {
 		}
 		plane := acc[ri*w*h : (ri+1)*w*h]
 		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				var s int32
-				for dy := -1; dy <= 1; dy++ {
-					yy := y + dy
-					if yy < 0 || yy >= h {
-						continue
-					}
-					for dx := -1; dx <= 1; dx++ {
-						xx := x + dx
-						if xx < 0 || xx >= w {
-							continue
-						}
-						s += plane[yy*w+xx]
-					}
+			row := plane[y*w : (y+1)*w]
+			dst := rowSum[y*w : (y+1)*w]
+			for x := range row {
+				sum := row[x]
+				if x > 0 {
+					sum += row[x-1]
 				}
-				smooth[y*w+x] = s
+				if x < w-1 {
+					sum += row[x+1]
+				}
+				dst[x] = sum
+			}
+		}
+		for y := 0; y < h; y++ {
+			dst := smooth[y*w : (y+1)*w]
+			cur := rowSum[y*w : (y+1)*w]
+			copy(dst, cur)
+			if y > 0 {
+				above := rowSum[(y-1)*w : y*w]
+				for x := range dst {
+					dst[x] += above[x]
+				}
+			}
+			if y < h-1 {
+				below := rowSum[(y+1)*w : (y+2)*w]
+				for x := range dst {
+					dst[x] += below[x]
+				}
 			}
 		}
 		for y := 0; y < h; y++ {
@@ -169,12 +247,13 @@ func Circles(g *raster.Gray, region Rect, p Params) []Circle {
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Votes > cands[j].Votes })
+	s.cands = cands
 
 	minDist := p.MinDist
 	if minDist <= 0 {
 		minDist = float64(p.RMin)
 	}
-	var out []Circle
+	out := s.out[:0]
 	for _, c := range cands {
 		dup := false
 		for _, kept := range out {
@@ -187,5 +266,6 @@ func Circles(g *raster.Gray, region Rect, p Params) []Circle {
 			out = append(out, c)
 		}
 	}
+	s.out = out
 	return out
 }

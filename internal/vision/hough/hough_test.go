@@ -140,3 +140,42 @@ func TestRectContains(t *testing.T) {
 		t.Fatal("Contains boundary semantics wrong")
 	}
 }
+
+// TestScratchReuseMatchesFresh drives CirclesScratch with one reused Scratch
+// through a randomized sequence of scenes, regions, and parameter sets, and
+// checks every result against a fresh-scratch run of the same input. Any
+// stale accumulator, candidate, or output state leaking between calls would
+// show up as a mismatch.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := sim.NewRNG(99)
+	reused := &Scratch{}
+	for iter := 0; iter < 25; iter++ {
+		var truth []Circle
+		var fills []color.RGB8
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			truth = append(truth, Circle{
+				X: 20 + float64(rng.Intn(160)),
+				Y: 20 + float64(rng.Intn(110)),
+				R: 9 + float64(rng.Intn(5)),
+			})
+			shade := uint8(rng.Intn(120))
+			fills = append(fills, color.RGB8{R: shade, G: shade, B: shade})
+		}
+		g := grayWithCircles(240, truth, fills)
+		region := Rect{rng.Intn(30), rng.Intn(30), 120 + rng.Intn(100), 90 + rng.Intn(80)}
+		p := DefaultParams()
+		p.RMin += rng.Intn(2)
+		p.RMax += rng.Intn(3) - 1
+		got := CirclesScratch(g, region, p, reused)
+		want := CirclesScratch(g, region, p, &Scratch{})
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: reused scratch found %d circles, fresh found %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d circle %d: reused %+v != fresh %+v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -7,7 +7,6 @@ package raster
 
 import (
 	"image"
-	imgcolor "image/color"
 	"math"
 
 	"colormatch/internal/color"
@@ -40,20 +39,41 @@ func (g *Gray) Set(x, y int, v float64) {
 	g.Pix[y*g.W+x] = v
 }
 
+// Resize reshapes g to w×h, reusing the pixel buffer when it has capacity.
+// Contents after a resize are unspecified; callers overwrite every pixel.
+func (g *Gray) Resize(w, h int) {
+	g.W, g.H = w, h
+	if cap(g.Pix) < w*h {
+		g.Pix = make([]float64, w*h)
+	} else {
+		g.Pix = g.Pix[:w*h]
+	}
+}
+
 // FromRGBA converts an RGBA image to grayscale using Rec.601 luma weights.
 func FromRGBA(img *image.RGBA) *Gray {
+	g := &Gray{}
+	FromRGBAInto(g, img)
+	return g
+}
+
+// FromRGBAInto converts img into dst, reusing dst's pixel buffer when it is
+// large enough — the allocation-free seam the vision pipeline uses to amortize
+// per-photo grayscale buffers across a campaign.
+func FromRGBAInto(dst *Gray, img *image.RGBA) {
 	b := img.Bounds()
-	g := NewGray(b.Dx(), b.Dy())
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			i := img.PixOffset(b.Min.X+x, b.Min.Y+y)
+	dst.Resize(b.Dx(), b.Dy())
+	for y := 0; y < dst.H; y++ {
+		i := img.PixOffset(b.Min.X, b.Min.Y+y)
+		row := dst.Pix[y*dst.W : (y+1)*dst.W]
+		for x := range row {
 			r := float64(img.Pix[i])
 			gg := float64(img.Pix[i+1])
 			bb := float64(img.Pix[i+2])
-			g.Pix[y*g.W+x] = 0.299*r + 0.587*gg + 0.114*bb
+			row[x] = 0.299*r + 0.587*gg + 0.114*bb
+			i += 4
 		}
 	}
-	return g
 }
 
 // Otsu computes the Otsu threshold of g: the intensity that maximizes
@@ -102,11 +122,21 @@ func Otsu(g *Gray) float64 {
 // The inclusive comparison pairs with Otsu, which returns the upper edge of
 // the dark class.
 func Threshold(g *Gray, t float64) []bool {
-	out := make([]bool, len(g.Pix))
-	for i, v := range g.Pix {
-		out[i] = v <= t
+	return ThresholdInto(nil, g, t)
+}
+
+// ThresholdInto writes the binary mask into dst, growing it only when its
+// capacity is insufficient, and returns the (possibly reallocated) mask.
+func ThresholdInto(dst []bool, g *Gray, t float64) []bool {
+	if cap(dst) < len(g.Pix) {
+		dst = make([]bool, len(g.Pix))
+	} else {
+		dst = dst[:len(g.Pix)]
 	}
-	return out
+	for i, v := range g.Pix {
+		dst[i] = v <= t
+	}
+	return dst
 }
 
 // Component is a 4-connected region of set mask pixels.
@@ -121,13 +151,36 @@ func (c Component) W() int { return c.MaxX - c.MinX + 1 }
 // H returns the bounding-box height.
 func (c Component) H() int { return c.MaxY - c.MinY + 1 }
 
+// ComponentScratch holds the labeling buffers Components needs, so repeated
+// calls on same-sized masks (one per analyzed photo) stop allocating.
+type ComponentScratch struct {
+	labels []int32
+	stack  []int
+	out    []Component
+}
+
 // Components labels 4-connected regions of true pixels in mask (width w).
 // Regions smaller than minCount pixels are dropped.
 func Components(mask []bool, w int, minCount int) []Component {
+	return ComponentsScratch(mask, w, minCount, &ComponentScratch{})
+}
+
+// ComponentsScratch is Components with caller-owned scratch buffers. The
+// returned slice is backed by the scratch and only valid until the next call
+// with the same scratch.
+func ComponentsScratch(mask []bool, w int, minCount int, s *ComponentScratch) []Component {
 	h := len(mask) / w
-	labels := make([]int32, len(mask))
-	var out []Component
-	var stack []int
+	if cap(s.labels) < len(mask) {
+		s.labels = make([]int32, len(mask))
+	} else {
+		s.labels = s.labels[:len(mask)]
+		for i := range s.labels {
+			s.labels[i] = 0
+		}
+	}
+	labels := s.labels
+	out := s.out[:0]
+	stack := s.stack
 	for start := range mask {
 		if !mask[start] || labels[start] != 0 {
 			continue
@@ -175,42 +228,67 @@ func Components(mask []bool, w int, minCount int) []Component {
 			out = append(out, comp)
 		}
 	}
+	s.stack = stack
+	s.out = out
 	return out
 }
 
 // Sobel computes gradient magnitude and direction (radians) per pixel.
 func Sobel(g *Gray) (mag, dir *Gray) {
-	mag = NewGray(g.W, g.H)
-	dir = NewGray(g.W, g.H)
+	mag, dir = &Gray{}, &Gray{}
+	SobelInto(g, mag, dir)
+	return mag, dir
+}
+
+// SobelInto computes gradient magnitude and direction into caller-owned
+// planes, reusing their buffers when large enough. Border pixels are zero, as
+// in Sobel.
+func SobelInto(g, mag, dir *Gray) {
+	mag.Resize(g.W, g.H)
+	dir.Resize(g.W, g.H)
+	for i := range mag.Pix {
+		mag.Pix[i] = 0
+		dir.Pix[i] = 0
+	}
+	w := g.W
 	for y := 1; y < g.H-1; y++ {
-		for x := 1; x < g.W-1; x++ {
-			gx := -g.At(x-1, y-1) + g.At(x+1, y-1) +
-				-2*g.At(x-1, y) + 2*g.At(x+1, y) +
-				-g.At(x-1, y+1) + g.At(x+1, y+1)
-			gy := -g.At(x-1, y-1) - 2*g.At(x, y-1) - g.At(x+1, y-1) +
-				g.At(x-1, y+1) + 2*g.At(x, y+1) + g.At(x+1, y+1)
-			mag.Set(x, y, math.Hypot(gx, gy))
-			dir.Set(x, y, math.Atan2(gy, gx))
+		up, mid, dn := g.Pix[(y-1)*w:y*w], g.Pix[y*w:(y+1)*w], g.Pix[(y+1)*w:(y+2)*w]
+		magRow, dirRow := mag.Pix[y*w:(y+1)*w], dir.Pix[y*w:(y+1)*w]
+		for x := 1; x < w-1; x++ {
+			gx := -up[x-1] + up[x+1] +
+				-2*mid[x-1] + 2*mid[x+1] +
+				-dn[x-1] + dn[x+1]
+			gy := -up[x-1] - 2*up[x] - up[x+1] +
+				dn[x-1] + 2*dn[x] + dn[x+1]
+			magRow[x] = math.Hypot(gx, gy)
+			dirRow[x] = math.Atan2(gy, gx)
 		}
 	}
-	return mag, dir
 }
 
 // NewRGBA returns a w×h RGBA image filled with the given color.
 func NewRGBA(w, h int, fill color.RGB8) *image.RGBA {
 	img := image.NewRGBA(image.Rect(0, 0, w, h))
-	c := imgcolor.RGBA{R: fill.R, G: fill.G, B: fill.B, A: 255}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			img.SetRGBA(x, y, c)
-		}
+	if w == 0 || h == 0 {
+		return img
+	}
+	// Fill the first row pixel-wise, then replicate it: row copies beat a
+	// bounds-checked SetRGBA per pixel by an order of magnitude.
+	row := img.Pix[:w*4]
+	for x := 0; x < w; x++ {
+		row[x*4+0] = fill.R
+		row[x*4+1] = fill.G
+		row[x*4+2] = fill.B
+		row[x*4+3] = 255
+	}
+	for y := 1; y < h; y++ {
+		copy(img.Pix[y*img.Stride:y*img.Stride+w*4], row)
 	}
 	return img
 }
 
 // FillRect fills the axis-aligned rectangle [x0,x1)×[y0,y1).
 func FillRect(img *image.RGBA, x0, y0, x1, y1 int, c color.RGB8) {
-	cc := imgcolor.RGBA{R: c.R, G: c.G, B: c.B, A: 255}
 	b := img.Bounds()
 	if x0 < b.Min.X {
 		x0 = b.Min.X
@@ -224,27 +302,54 @@ func FillRect(img *image.RGBA, x0, y0, x1, y1 int, c color.RGB8) {
 	if y1 > b.Max.Y {
 		y1 = b.Max.Y
 	}
-	for y := y0; y < y1; y++ {
-		for x := x0; x < x1; x++ {
-			img.SetRGBA(x, y, cc)
-		}
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	first := img.PixOffset(x0, y0)
+	row := img.Pix[first : first+(x1-x0)*4]
+	for x := 0; x < x1-x0; x++ {
+		row[x*4+0] = c.R
+		row[x*4+1] = c.G
+		row[x*4+2] = c.B
+		row[x*4+3] = 255
+	}
+	for y := y0 + 1; y < y1; y++ {
+		i := img.PixOffset(x0, y)
+		copy(img.Pix[i:i+(x1-x0)*4], row)
 	}
 }
 
 // FillCircle fills a disk of radius r centered at (cx,cy).
 func FillCircle(img *image.RGBA, cx, cy, r float64, c color.RGB8) {
-	cc := imgcolor.RGBA{R: c.R, G: c.G, B: c.B, A: 255}
+	b := img.Bounds()
 	x0, x1 := int(cx-r-1), int(cx+r+1)
 	y0, y1 := int(cy-r-1), int(cy+r+1)
+	if x0 < b.Min.X {
+		x0 = b.Min.X
+	}
+	if y0 < b.Min.Y {
+		y0 = b.Min.Y
+	}
+	if x1 > b.Max.X-1 {
+		x1 = b.Max.X - 1
+	}
+	if y1 > b.Max.Y-1 {
+		y1 = b.Max.Y - 1
+	}
 	r2 := r * r
 	for y := y0; y <= y1; y++ {
+		dy := float64(y) + 0.5 - cy
+		dy2 := dy * dy
+		i := img.PixOffset(x0, y)
 		for x := x0; x <= x1; x++ {
-			dx, dy := float64(x)+0.5-cx, float64(y)+0.5-cy
-			if dx*dx+dy*dy <= r2 {
-				if image.Pt(x, y).In(img.Bounds()) {
-					img.SetRGBA(x, y, cc)
-				}
+			dx := float64(x) + 0.5 - cx
+			if dx*dx+dy2 <= r2 {
+				img.Pix[i+0] = c.R
+				img.Pix[i+1] = c.G
+				img.Pix[i+2] = c.B
+				img.Pix[i+3] = 255
 			}
+			i += 4
 		}
 	}
 }
@@ -263,20 +368,37 @@ func PixelRGB8(img *image.RGBA, x, y int) color.RGB8 {
 // color at its predicted center.
 func MeanDisk(img *image.RGBA, cx, cy, r float64) color.RGB8 {
 	var sr, sg, sb, n float64
+	b := img.Bounds()
 	x0, x1 := int(cx-r-1), int(cx+r+1)
 	y0, y1 := int(cy-r-1), int(cy+r+1)
+	if x0 < b.Min.X {
+		x0 = b.Min.X
+	}
+	if y0 < b.Min.Y {
+		y0 = b.Min.Y
+	}
+	if x1 > b.Max.X-1 {
+		x1 = b.Max.X - 1
+	}
+	if y1 > b.Max.Y-1 {
+		y1 = b.Max.Y - 1
+	}
 	r2 := r * r
 	for y := y0; y <= y1; y++ {
+		dy := float64(y) + 0.5 - cy
+		dy2 := dy * dy
+		i := img.PixOffset(x0, y)
 		for x := x0; x <= x1; x++ {
-			dx, dy := float64(x)+0.5-cx, float64(y)+0.5-cy
-			if dx*dx+dy*dy > r2 || !image.Pt(x, y).In(img.Bounds()) {
+			dx := float64(x) + 0.5 - cx
+			if dx*dx+dy2 > r2 {
+				i += 4
 				continue
 			}
-			i := img.PixOffset(x, y)
 			sr += float64(img.Pix[i])
 			sg += float64(img.Pix[i+1])
 			sb += float64(img.Pix[i+2])
 			n++
+			i += 4
 		}
 	}
 	if n == 0 {

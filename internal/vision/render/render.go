@@ -11,7 +11,6 @@ package render
 
 import (
 	"image"
-	"math"
 
 	"colormatch/internal/color"
 	"colormatch/internal/labware"
@@ -181,21 +180,33 @@ func (s *Scene) Render(dict *aruco.Dictionary, rng *sim.RNG) *image.RGBA {
 	// Fiducial marker.
 	dict.Render(img, s.MarkerID, int(g.MarkerX+jx), int(g.MarkerY+jy), int(g.MarkerCellPx))
 
-	s.applyIlluminationAndNoise(img, rng)
+	var noiseRow []float64
+	if rng != nil && s.NoiseStd > 0 {
+		noiseRow = make([]float64, g.ImgW*3)
+	}
+	s.applyIlluminationAndNoise(img, rng, noiseRow)
 	return img
 }
 
 // applyIlluminationAndNoise multiplies in the vignette and adds pixel noise.
-func (s *Scene) applyIlluminationAndNoise(img *image.RGBA, rng *sim.RNG) {
-	if s.IllumFalloff == 0 && (rng == nil || s.NoiseStd == 0) {
+// Noise deviates are drawn one row at a time via NormFloat64Fill — same
+// stream, same order as per-subpixel draws, but ~w·3 fewer lock round trips
+// per row — and the clamp is an inline comparison chain rather than
+// math.Max/math.Min calls. Output is bit-identical to the scalar loop.
+func (s *Scene) applyIlluminationAndNoise(img *image.RGBA, rng *sim.RNG, noiseRow []float64) {
+	noise := rng != nil && s.NoiseStd > 0
+	if s.IllumFalloff == 0 && !noise {
 		return
 	}
 	w, h := s.Geom.ImgW, s.Geom.ImgH
 	cx, cy := float64(w)/2, float64(h)/2
 	rmax2 := cx*cx + cy*cy
 	for y := 0; y < h; y++ {
+		if noise {
+			rng.NormFloat64Fill(noiseRow)
+		}
+		i := img.PixOffset(0, y)
 		for x := 0; x < w; x++ {
-			i := img.PixOffset(x, y)
 			factor := 1.0
 			if s.IllumFalloff > 0 {
 				dx, dy := float64(x)-cx, float64(y)-cy
@@ -203,11 +214,18 @@ func (s *Scene) applyIlluminationAndNoise(img *image.RGBA, rng *sim.RNG) {
 			}
 			for c := 0; c < 3; c++ {
 				v := float64(img.Pix[i+c]) * factor
-				if rng != nil && s.NoiseStd > 0 {
-					v += rng.Normal(0, s.NoiseStd)
+				if noise {
+					v += s.NoiseStd * noiseRow[x*3+c]
 				}
-				img.Pix[i+c] = uint8(math.Max(0, math.Min(255, v+0.5)))
+				v += 0.5
+				if v > 255 {
+					v = 255
+				} else if !(v > 0) { // also catches NaN, as math.Max did
+					v = 0
+				}
+				img.Pix[i+c] = uint8(v)
 			}
+			i += 4
 		}
 	}
 }

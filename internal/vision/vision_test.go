@@ -1,7 +1,11 @@
 package vision
 
 import (
+	"bytes"
 	"errors"
+	"image"
+	"image/color/palette"
+	"image/png"
 	"math"
 	"testing"
 
@@ -208,5 +212,63 @@ func TestAnalyzerDeterministicOnSameImage(t *testing.T) {
 	}
 	if r1.WellColors != r2.WellColors {
 		t.Fatal("analysis nondeterministic")
+	}
+}
+
+// TestDecodeFastPathMatchesSlowPath decodes representative PNG payloads —
+// opaque truecolor (decodes to *image.RGBA), NRGBA with partial alpha, and a
+// paletted image (neither fast path applies) — and checks the direct Pix-copy
+// fast paths produce byte-identical output to the generic At/Set conversion.
+func TestDecodeFastPathMatchesSlowPath(t *testing.T) {
+	rng := sim.NewRNG(8)
+	scene, _ := buildScene(t, strongFractions(32), 0, 0, rng)
+	a := NewAnalyzer()
+	opaque, err := EncodePNG(scene.Render(a.Dict, rng.Derive("px")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nrgba := image.NewNRGBA(image.Rect(0, 0, 61, 37))
+	for i := range nrgba.Pix {
+		nrgba.Pix[i] = uint8(rng.Intn(256))
+	}
+	var nbuf bytes.Buffer
+	if err := png.Encode(&nbuf, nrgba); err != nil {
+		t.Fatal(err)
+	}
+
+	pal := image.NewPaletted(image.Rect(0, 0, 40, 25), palette.Plan9)
+	for i := range pal.Pix {
+		pal.Pix[i] = uint8(rng.Intn(len(palette.Plan9)))
+	}
+	var pbuf bytes.Buffer
+	if err := png.Encode(&pbuf, pal); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, data := range map[string][]byte{
+		"opaque-rgba": opaque,
+		"nrgba-alpha": nbuf.Bytes(),
+		"paletted":    pbuf.Bytes(),
+	} {
+		got, err := DecodePNG(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		src, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b := src.Bounds()
+		want := image.NewRGBA(image.Rect(0, 0, b.Dx(), b.Dy()))
+		slowConvert(want, src, b)
+		if got.Bounds() != want.Bounds() {
+			t.Fatalf("%s: bounds %v vs %v", name, got.Bounds(), want.Bounds())
+		}
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%s: fast path diverges from At/Set conversion at byte %d", name, i)
+			}
+		}
 	}
 }
