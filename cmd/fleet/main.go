@@ -23,6 +23,14 @@
 // flushed in one POST /ingest/batch round-trip at campaign end. Against a
 // portal started with -data the campaign archive survives portal restarts.
 //
+// With -stream (requires -portal) the fleet additionally publishes every
+// step event live as it happens — command_sent, step_end, gate_wait,
+// campaign lifecycle — batched through a background publisher into the
+// portal's POST /events stream, where watchers (cmd/portalwatch, the index
+// page's live table, GET /watch) follow it in real time:
+//
+//	fleet -campaigns 8 -workcells 4 -portal http://localhost:2100 -stream
+//
 // # Elastic pools
 //
 // With -remote the pool is the listed cmd/workcell-style HTTP servers — one
@@ -90,6 +98,7 @@ func main() {
 		faultRate  = flag.Float64("faults", 0, "per-command receive-fault probability on every workcell (local pool only)")
 		publish    = flag.Bool("publish", false, "publish campaign records and a fleet summary to an in-memory portal")
 		portalURL  = flag.String("portal", "", "publish campaign records and the fleet summary to this cmd/portal base URL (batch-flushed per campaign; overrides -publish)")
+		stream     = flag.Bool("stream", false, "also stream step events live to the -portal server (POST /events) as campaigns run")
 		compact    = flag.Bool("compact", false, "emit compact JSON instead of indented")
 		remote     = flag.String("remote", "", "comma-separated workcell server base URLs; one remote cell per URL (overrides -workcells; -seed still seeds campaign solvers)")
 		joinListen = flag.String("join-listen", "", "serve the fleet control plane (POST /join, POST /leave, GET /members) on this address so workcells can join at runtime")
@@ -118,6 +127,8 @@ func main() {
 		churnCells: *churnCells,
 		churnSpec:  *churnSpec,
 		joinListen: *joinListen,
+		stream:     *stream,
+		portalURL:  *portalURL,
 	}
 	if err := cfg.validate(); err != nil {
 		fatal(err)
@@ -141,6 +152,11 @@ func main() {
 	}
 	if *portalURL != "" {
 		opts.Portal = portal.NewClient(*portalURL)
+	}
+	var pub *portal.EventPublisher
+	if *stream {
+		pub = portal.NewEventPublisher(portal.NewClient(*portalURL), portal.PublisherOptions{})
+		opts.EventSink = pub
 	}
 
 	// Elastic pools run off a registry: remote URLs and churn cells are
@@ -203,6 +219,16 @@ func main() {
 	wallStart := time.Now()
 	res, err := fleet.Run(context.Background(), campaigns, opts)
 	wallSeconds := time.Since(wallStart).Seconds()
+	if pub != nil {
+		// Final drain before the summary (and before a fatal exit): the
+		// run's event tail should reach the portal even when the run failed.
+		if cerr := pub.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "fleet: event stream:", cerr)
+		}
+		if n := pub.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: event stream dropped %d event(s)\n", n)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -292,6 +318,8 @@ type fleetConfig struct {
 	churnCells int
 	churnSpec  string
 	joinListen string
+	stream     bool
+	portalURL  string
 }
 
 // elastic reports whether the run is registry-managed (remote, churn, or
@@ -317,6 +345,9 @@ func (c fleetConfig) validate() error {
 	}
 	if c.churnSpec != "" && c.churnCells == 0 {
 		return fmt.Errorf("-churn needs a -churn-cells pool to act on")
+	}
+	if c.stream && c.portalURL == "" {
+		return fmt.Errorf("-stream publishes to the -portal server; set -portal")
 	}
 	if c.elastic() {
 		// Fault injection provisions the local pool's engines; an elastic

@@ -121,6 +121,8 @@ func TestValidateFailFast(t *testing.T) {
 		{"churn with remote", fleetConfig{lanes: 1, churnCells: 2, remoteFlag: "http://a:2000", remote: remote}, "choose one"},
 		{"churn spec without pool", fleetConfig{lanes: 1, churnSpec: "0@1s"}, "-churn needs a -churn-cells pool"},
 		{"negative churn cells", fleetConfig{lanes: 1, churnCells: -1}, "-churn-cells must be >= 0"},
+		{"stream with portal", fleetConfig{lanes: 1, stream: true, portalURL: "http://p:2100"}, ""},
+		{"stream without portal", fleetConfig{lanes: 1, stream: true}, "-portal"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,9 +16,16 @@
 // -compact-segments of them accumulate (0 disables compaction). See
 // docs/PORTAL.md for the directory layout and the full endpoint reference.
 //
-// Endpoints: POST /ingest, POST /ingest/batch, GET /search (with cursor
-// pagination), GET /records/<id>, GET /experiments,
-// GET /experiments/<name>/summary, GET /healthz.
+// The portal also serves live event streaming: fleets POST step events to
+// /events as campaigns run (cmd/fleet -stream) and watchers follow them on
+// GET /watch (cmd/portalwatch, or the index page's live table). With -data
+// the event stream is durable too (an events/ segment log under the data
+// dir), so watch cursors survive a portal restart.
+//
+// Endpoints: POST /ingest, POST /ingest/batch, POST /events, GET /search
+// (with cursor pagination), GET /records/<id>, GET /experiments,
+// GET /experiments/<name>/summary, GET /watch (SSE or long-poll),
+// GET /healthz.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"colormatch/internal/portal"
@@ -37,9 +45,11 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (segment log + blobs), replayed on startup; empty = in-memory only")
 	compactSegs := flag.Int("compact-segments", 8, "background-compact the segment log once this many sealed segments accumulate; 0 disables")
 	replayWorkers := flag.Int("replay-workers", 0, "decode workers for startup replay; 0 = all cores, 1 = sequential")
+	watchBuffer := flag.Int("watch-buffer", 256, "per-subscriber event buffer; a watcher this far behind is evicted")
 	flag.Parse()
 
 	var store *portal.Store
+	hubOpts := portal.HubOptions{SubscriberBuffer: *watchBuffer}
 	if *dataDir != "" {
 		var err error
 		store, err = portal.OpenStoreWith(*dataDir, portal.Options{
@@ -49,23 +59,34 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// Close on shutdown signals. (A deferred Close would never run:
-		// ListenAndServe only returns on error and fatal os.Exits.) Every
-		// batch is fsynced at append time, so nothing is lost even on a hard
-		// kill; this just releases the segment file cleanly.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			store.Close()
-			os.Exit(0)
-		}()
+		hubOpts.Dir = filepath.Join(*dataDir, "events")
 		fmt.Printf("portal: replayed %d record(s) from %s\n", store.Len(), *dataDir)
 	} else {
 		store = portal.NewStore()
 	}
+	hub, err := portal.OpenHub(hubOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if hubOpts.Dir != "" {
+		fmt.Printf("portal: event stream at seq %d\n", hub.LastSeq())
+	}
+	// Close on shutdown signals. (A deferred Close would never run:
+	// ListenAndServe only returns on error and fatal os.Exits.) Every
+	// batch is fsynced at append time, so nothing is lost even on a hard
+	// kill; this just releases the log files cleanly and ends live watches.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if err := hub.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "portal:", err)
+		}
+		store.Close()
+		os.Exit(0)
+	}()
 	fmt.Printf("portal: listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, portal.Serve(store)); err != nil {
+	if err := http.ListenAndServe(*listen, portal.Serve(store, portal.WithHub(hub))); err != nil {
 		fatal(err)
 	}
 }

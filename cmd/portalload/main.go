@@ -21,20 +21,29 @@
 // compacted archive (restart.speedup is uncompacted-sequential over
 // compacted-parallel).
 //
-// Against an external -url only the traffic phases run: the restart
-// benchmark needs to own the store's files.
+// When self-hosted the tool also mounts a durable streaming hub and runs a
+// watch phase: SSE subscribers follow the live event stream while paced
+// publishers POST /events batches, and the report gains fan-out latency
+// percentiles, delivery throughput, and a zero-loss check.
+//
+// Against an external -url only the traffic phases run: the restart and
+// watch benchmarks need to own the server.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colormatch/internal/portal"
@@ -100,6 +109,9 @@ func main() {
 	searchW := flag.Int("search-weight", 6, "relative weight of search ops in the mixed phase")
 	summaryW := flag.Int("summary-weight", 2, "relative weight of summary ops in the mixed phase")
 	ingestW := flag.Int("ingest-weight", 2, "relative weight of batch-ingest ops in the mixed phase")
+	watchers := flag.Int("watchers", 8, "SSE subscribers in the watch phase (self-hosted only; 0 skips it)")
+	watchRate := flag.Int("watch-rate", 2000, "events/second published during the watch phase")
+	watchBatch := flag.Int("watch-batch", 40, "events per POST /events batch in the watch phase")
 	flag.Parse()
 
 	report := map[string]any{
@@ -111,6 +123,7 @@ func main() {
 	}
 
 	var store *portal.Store
+	var hub *portal.Hub
 	var srv *http.Server
 	base := *url
 	selfHosted := base == ""
@@ -135,7 +148,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv = &http.Server{Handler: portal.Serve(store)}
+		// Durable event stream beside the record store, like cmd/portal
+		// with -data: the watch phase measures the full production fan-out
+		// path, fsync per publish included.
+		hub, err = portal.OpenHub(portal.HubOptions{Dir: filepath.Join(dir, "events")})
+		if err != nil {
+			fatal(err)
+		}
+		srv = &http.Server{Handler: portal.Serve(store, portal.WithHub(hub))}
 		go func() { _ = srv.Serve(ln) }()
 		base = "http://" + ln.Addr().String()
 		report["data_dir"] = dir
@@ -240,11 +260,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "portalload: mixed phase %.0f ops/s, search p99 %.0fµs (idle %.0fµs, impact %.2fx)\n",
 		float64(mixedOps)/mixedElapsed.Seconds(), mixedP99, idleP99, impact)
 
-	// Phase 3 — restart benchmark (self-hosted only): how long until the
+	// Phase 3 — watch (self-hosted only): every subscriber follows the live
+	// SSE stream while paced publishers POST event batches; measures the
+	// fan-out path end to end (publish RTT + hub append/fsync + per-
+	// subscriber delivery + SSE parse). Subscribers connect before the
+	// first publish, so every published event is owed to every subscriber —
+	// "lost" must come out zero.
+	if selfHosted && *watchers > 0 {
+		report["watch"] = runWatchPhase(newClient, *watchers, *watchRate, *watchBatch, *duration)
+	}
+
+	// Phase 4 — restart benchmark (self-hosted only): how long until the
 	// archive is queryable again after a process restart, before and after
 	// compaction.
 	if selfHosted {
 		srv.Close()
+		if err := hub.Close(); err != nil {
+			fatal(err)
+		}
 		if err := store.Close(); err != nil {
 			fatal(err)
 		}
@@ -308,6 +341,97 @@ func main() {
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// runWatchPhase measures live fan-out: `watchers` SSE subscriptions drain
+// the stream while two publishers push `rate` events/second in batches of
+// `batch`. Per-event latency is receive wall time minus the event's
+// PubNanos stamp (same process, same clock), and after publishing stops the
+// phase waits for every owed delivery — anything still missing after the
+// grace period is reported as lost.
+func runWatchPhase(newClient func() *portal.Client, watchers, rate, batch int, d time.Duration) map[string]any {
+	const experiment = "watch-bench"
+	fanout := &opStats{name: "fanout"}
+	var published, delivered, evicted, watchErrs int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var ready, wg sync.WaitGroup
+	for w := 0; w < watchers; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			watcher, err := newClient().Watch(ctx, portal.WatchOptions{Experiment: experiment})
+			ready.Done()
+			if err != nil {
+				atomic.AddInt64(&watchErrs, 1)
+				return
+			}
+			defer watcher.Close()
+			for {
+				ev, err := watcher.Next()
+				if err != nil {
+					if errors.Is(err, portal.ErrSlowSubscriber) {
+						atomic.AddInt64(&evicted, 1)
+					}
+					return
+				}
+				fanout.record(time.Since(time.Unix(0, ev.PubNanos)), 1, nil)
+				atomic.AddInt64(&delivered, 1)
+			}
+		}()
+	}
+	ready.Wait() // every subscriber registered before the first publish
+
+	pub := newClient()
+	interval := time.Second * time.Duration(batch) / time.Duration(rate)
+	start := time.Now()
+	deadline := start.Add(d)
+	tick := time.NewTicker(interval)
+	for now := time.Now(); now.Before(deadline); now = <-tick.C {
+		evs := make([]portal.StreamEvent, batch)
+		stamp := time.Now().UnixNano()
+		for i := range evs {
+			evs[i] = portal.StreamEvent{
+				Experiment: experiment,
+				Kind:       "bench",
+				Time:       time.Unix(0, stamp),
+				SrcSeq:     int(published) + i,
+				PubNanos:   stamp,
+			}
+		}
+		if _, err := pub.PublishEvents(evs); err != nil {
+			fatal(fmt.Errorf("watch phase publish: %w", err))
+		}
+		atomic.AddInt64(&published, int64(batch))
+	}
+	tick.Stop()
+	elapsed := time.Since(start)
+
+	// Drain grace: the stream is done publishing; give subscribers a bounded
+	// window to finish consuming what they are owed.
+	expected := atomic.LoadInt64(&published) * int64(watchers-int(atomic.LoadInt64(&watchErrs)))
+	for wait := time.Now().Add(10 * time.Second); atomic.LoadInt64(&delivered) < expected && time.Now().Before(wait); {
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	got := atomic.LoadInt64(&delivered)
+	res := map[string]any{
+		"subscribers":    watchers,
+		"published":      atomic.LoadInt64(&published),
+		"delivered":      got,
+		"lost":           expected - got,
+		"evicted":        atomic.LoadInt64(&evicted),
+		"watch_errors":   atomic.LoadInt64(&watchErrs),
+		"events_per_sec": float64(got) / elapsed.Seconds(),
+		"fanout":         fanout.summary(),
+	}
+	fmt.Fprintf(os.Stderr, "portalload: watch phase %d subscribers, %.0f deliveries/s, fanout p99 %.0fµs, lost %d\n",
+		watchers, float64(got)/elapsed.Seconds(), fanout.p99(), expected-got)
+	return res
 }
 
 // runPhase runs op from `clients` goroutines until the deadline. Each

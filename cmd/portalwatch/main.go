@@ -1,0 +1,108 @@
+// Command portalwatch follows a portal's live event stream: the dashboard
+// client for cmd/fleet -stream. It connects to GET /watch, prints each step
+// event as a line (or raw JSON with -json), and on any disconnect — network
+// blip, portal restart, slow-consumer eviction — reconnects from its last
+// cursor, so the printed sequence has no gaps and no duplicates.
+//
+//	portalwatch -url http://localhost:2100
+//	portalwatch -url http://localhost:2100 -experiment fleet_campaign-007
+//	portalwatch -url http://localhost:2100 -from-start -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"colormatch/internal/portal"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:2100", "portal base URL")
+	experiment := flag.String("experiment", "", "filter to one experiment; empty watches everything")
+	fromStart := flag.Bool("from-start", false, "backfill from the beginning of the retained stream instead of starting live")
+	asJSON := flag.Bool("json", false, "print raw event JSON lines instead of the column view")
+	retry := flag.Duration("retry", 2*time.Second, "pause before reconnecting after a dropped watch")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	client := portal.NewClient(*url)
+	cursor := ""
+	if *fromStart {
+		cursor = portal.StreamStart
+	}
+	for ctx.Err() == nil {
+		cursor = watchOnce(ctx, client, *experiment, cursor, *asJSON)
+		if ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "portalwatch: stream dropped; resuming from cursor in %v\n", *retry)
+			select {
+			case <-ctx.Done():
+			case <-time.After(*retry):
+			}
+		}
+	}
+}
+
+// watchOnce consumes one connection until it drops, returning the cursor to
+// resume from. A cursor the portal no longer retains (410) falls back to a
+// live subscription rather than looping on a dead position.
+func watchOnce(ctx context.Context, client *portal.Client, experiment, cursor string, asJSON bool) string {
+	w, err := client.Watch(ctx, portal.WatchOptions{Experiment: experiment, Cursor: cursor})
+	if err != nil {
+		if errors.Is(err, portal.ErrCursorTruncated) {
+			fmt.Fprintln(os.Stderr, "portalwatch: cursor behind the portal's retained window; restarting live")
+			return ""
+		}
+		fmt.Fprintln(os.Stderr, "portalwatch:", err)
+		return cursor
+	}
+	defer w.Close()
+	for {
+		ev, err := w.Next()
+		if err != nil {
+			switch {
+			case errors.Is(err, portal.ErrSlowSubscriber):
+				fmt.Fprintln(os.Stderr, "portalwatch: evicted as a slow consumer; resuming from cursor")
+			case errors.Is(err, portal.ErrStreamClosed):
+				fmt.Fprintln(os.Stderr, "portalwatch: portal closed the stream")
+			case errors.Is(err, io.EOF):
+				// connection ended without a verdict; resume
+			}
+			return w.Cursor()
+		}
+		printEvent(ev, asJSON)
+	}
+}
+
+func printEvent(ev portal.StreamEvent, asJSON bool) {
+	if asJSON {
+		// Marshal cannot fail on a decoded StreamEvent; fall through silently.
+		fmt.Printf("%s\n", mustJSON(ev))
+		return
+	}
+	detail := ev.Step
+	if ev.Module != "" {
+		detail += " " + ev.Module + "/" + ev.Action
+	}
+	if ev.Note != "" {
+		detail += " (" + ev.Note + ")"
+	}
+	fmt.Printf("%8d  %s  %-22s %-18s %-17s %s\n",
+		ev.Seq, ev.Time.Format("15:04:05.000"), ev.Experiment, ev.Campaign, ev.Kind, detail)
+}
+
+func mustJSON(ev portal.StreamEvent) []byte {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"seq":%d,"error":%q}`, ev.Seq, err))
+	}
+	return data
+}

@@ -90,6 +90,16 @@ type Options struct {
 	// Client both do) receive each campaign's records as one batch flushed
 	// at campaign end rather than a round-trip per iteration.
 	Portal portal.Ingestor
+	// EventSink, when set, streams every campaign's engine events as they
+	// happen — command_sent, step_end, gate_wait, … bracketed by
+	// campaign_start/campaign_end lifecycle markers — instead of records
+	// landing once at campaign end. Wire portal.NewEventPublisher(
+	// portal.NewClient(url), …) to feed a remote portal hub (cmd/fleet
+	// -stream), or a portal.Hub directly for in-process fan-out. Emission
+	// happens inside the campaign hot loop, so the sink must be
+	// non-blocking; the caller owns its lifecycle (Close after Run for the
+	// final flush).
+	EventSink portal.EventSink
 	// MaxAttempts bounds the scheduling attempts a campaign is charged for
 	// across workcells (default 2: one reschedule onto a different cell; 1
 	// disables rescheduling). Each charged hard failure before the budget
@@ -1014,6 +1024,21 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 	// round-trip per campaign against a remote portal instead of one per
 	// iteration.
 	campEng := eng.WithLog(wei.NewEventLog(clock))
+	var stream *campaignStream
+	if opts.EventSink != nil {
+		// Live streaming: every event the campaign log records is forwarded
+		// the moment it is stamped, and the attempt is bracketed with
+		// lifecycle markers so a watcher can tell a resumed partial stream
+		// from a complete one.
+		stream = &campaignStream{
+			sink:       opts.EventSink,
+			experiment: cfg.Experiment,
+			campaign:   t.c.Name,
+			run:        cfg.RunNumber,
+		}
+		campEng.Log.SetSink(stream.engineEvent)
+		stream.lifecycle(evCampaignStart, clock.Now(), -1, "")
+	}
 	var runner *flow.Runner
 	var buf *portal.Buffer
 	campDest := dest
@@ -1087,6 +1112,15 @@ func runOne(ctx context.Context, t *task, w, lane int, cell Cell, setup LaneSetu
 	default:
 		cr.Status = StatusFailed
 		cr.Err = err
+	}
+	if stream != nil {
+		note := string(cr.Status)
+		if cr.Err != nil {
+			note += ": " + cr.Err.Error()
+		}
+		// SrcSeq carries the engine log's final length: the count a gap-free
+		// subscriber must have seen for this attempt.
+		stream.lifecycle(evCampaignEnd, clock.Now(), campEng.Log.Len(), note)
 	}
 	return cr
 }

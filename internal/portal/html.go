@@ -34,23 +34,57 @@ th { background: #eee; }
 </tr>
 {{end}}
 </table>
+{{if .Live}}
+<h2>Live events</h2>
+<p id="live-status">connecting&hellip;</p>
+<table id="live">
+<tr><th>Seq</th><th>Time</th><th>Experiment</th><th>Campaign</th><th>Kind</th><th>Step</th><th>Module</th></tr>
+</table>
+<script>
+// Live mode: an EventSource on /watch prepends each step event as it
+// happens. EventSource reconnects on its own, replaying the last frame id
+// as Last-Event-ID, so the table resumes from its cursor with no gap.
+(function () {
+  var maxRows = 50;
+  var table = document.getElementById("live");
+  var status = document.getElementById("live-status");
+  var es = new EventSource("/watch");
+  es.onopen = function () { status.textContent = "live"; };
+  es.onerror = function () { status.textContent = "reconnecting…"; };
+  es.addEventListener("evicted", function () {
+    status.textContent = "evicted (fell behind); reconnecting…";
+  });
+  es.onmessage = function (msg) {
+    var ev = JSON.parse(msg.data);
+    var row = table.insertRow(1);
+    [ev.seq, ev.time, ev.experiment, ev.campaign || "", ev.kind,
+     ev.step || "", ev.module || ""].forEach(function (v) {
+      row.insertCell(-1).textContent = v;
+    });
+    while (table.rows.length > maxRows + 1) table.deleteRow(-1);
+  };
+})();
+</script>
+{{end}}
 </body></html>
 `))
 
 type indexData struct {
 	Records   int
 	Summaries []Summary
+	// Live enables the streaming table; set when Serve has a hub.
+	Live bool
 }
 
 // serveIndex renders the HTML index of experiments. Summaries come from the
 // store's per-experiment cache, so repeated index hits between ingests cost
 // one map lookup per experiment instead of a scan over every record.
-func serveIndex(store *Store, w http.ResponseWriter, req *http.Request) {
+func serveIndex(store *Store, live bool, w http.ResponseWriter, req *http.Request) {
 	if req.URL.Path != "/" {
 		http.NotFound(w, req)
 		return
 	}
-	data := indexData{Records: store.Len()}
+	data := indexData{Records: store.Len(), Live: live}
 	// Experiments() is sorted, so the table rows arrive in display order.
 	for _, name := range store.Experiments() {
 		sum, err := store.Summarize(name)

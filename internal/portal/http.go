@@ -79,8 +79,25 @@ func fromWire(w wireRecord) (Record, error) {
 	return r, nil
 }
 
+// ServeOption configures optional portal endpoints.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	hub *Hub
+}
+
+// WithHub attaches a streaming hub: Serve additionally mounts POST /events
+// and GET /watch, and the HTML index gains its live mode.
+func WithHub(h *Hub) ServeOption {
+	return func(c *serveConfig) { c.hub = h }
+}
+
 // Serve returns the portal's HTTP handler backed by store.
-func Serve(store *Store) http.Handler {
+func Serve(store *Store, opts ...ServeOption) http.Handler {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
@@ -213,8 +230,11 @@ func Serve(store *Store) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]any{"ok": true, "records": store.Len()})
 	})
+	if cfg.hub != nil {
+		registerStreamRoutes(mux, cfg.hub)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		serveIndex(store, w, req)
+		serveIndex(store, cfg.hub != nil, w, req)
 	})
 	return mux
 }

@@ -1,0 +1,95 @@
+package portal
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The two codecs below sit on the trust boundary of the streaming layer:
+// cursors arrive from arbitrary HTTP clients (query params, Last-Event-ID
+// headers), and SSE frames arrive from whatever claims to be a portal. A
+// malformed input must map to a clean error — an HTTP 400 on the server, a
+// normal error return in the client — never a panic and never a silent
+// mis-resume at the wrong sequence.
+
+// FuzzStreamCursor: decode must never panic; every accepted cursor must
+// round-trip to the exact sequence it encodes; everything else must be
+// ErrInvalid.
+func FuzzStreamCursor(f *testing.F) {
+	f.Add("")
+	f.Add(StreamStart)
+	f.Add(encodeStreamCursor(1))
+	f.Add(encodeStreamCursor(1 << 40))
+	f.Add("ZXZ8NQ")                         // "ev|5" — hand-rolled valid cursor
+	f.Add("ZXZ8LTE")                        // "ev|-1" — negative seq must be rejected
+	f.Add("ZXZ8OTk5OXg")                    // "ev|9999x" — trailing junk in the number
+	f.Add("ZXY8NQ")                         // wrong prefix
+	f.Add("not base64 !!!")                 // not base64 at all
+	f.Add("AAAA")                           // base64 of garbage bytes
+	f.Add("ZXZ8")                           // prefix with no number
+	f.Add("ZXZ8OTIyMzM3MjAzNjg1NDc3NTgwOA") // "ev|9223372036854775808" — int64 overflow
+
+	f.Fuzz(func(t *testing.T, s string) {
+		seq, err := decodeStreamCursor(s)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("decode(%q) failed with %v, want ErrInvalid", s, err)
+			}
+			return
+		}
+		if seq < 0 {
+			t.Fatalf("decode(%q) accepted negative seq %d", s, seq)
+		}
+		// Accepted cursors must resume exactly where they claim: the
+		// re-encoding of the decoded seq must decode to the same seq.
+		again, err := decodeStreamCursor(encodeStreamCursor(seq))
+		if err != nil || again != seq {
+			t.Fatalf("decode(%q) = %d but re-encode round-trips to %d, %v", s, seq, again, err)
+		}
+	})
+}
+
+// FuzzSSEParser: arbitrary bytes on the wire must yield a sequence of frames
+// followed by a clean error — never a panic, never an unbounded allocation
+// (the scanner caps line length), never a frame fabricated past EOF.
+func FuzzSSEParser(f *testing.F) {
+	f.Add("id: abc\ndata: {\"seq\":1}\n\n")
+	f.Add("id: c\r\ndata: one\r\ndata: two\r\n\r\n")
+	f.Add(": heartbeat\n\n")
+	f.Add("event: evicted\ndata: slow\n\n")
+	f.Add("event: closed\n\n")
+	f.Add("data: no terminator")
+	f.Add("data\n\n")                    // field with no colon
+	f.Add("id: has\x00nul\ndata: x\n\n") // NUL in id must be ignored per spec
+	f.Add("\n\n\n\n")
+	f.Add(strings.Repeat("data: x\n", 100) + "\n")
+	f.Add("id: a\nunknown-field: ignored\ndata: y\n\n")
+
+	f.Fuzz(func(t *testing.T, wire string) {
+		sc := newSSEScanner(strings.NewReader(wire))
+		frames := 0
+		for {
+			fr, err := sc.next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "sse") {
+					t.Fatalf("scanner error %v is neither EOF nor an sse parse error", err)
+				}
+				return
+			}
+			// A dispatched frame must have had a blank-line terminator, so
+			// it cannot extend past the input.
+			if len(fr.data) > len(wire) {
+				t.Fatalf("frame data longer than input: %d > %d", len(fr.data), len(wire))
+			}
+			if strings.ContainsRune(fr.id, 0) {
+				t.Fatalf("frame id %q retained a NUL byte", fr.id)
+			}
+			frames++
+			if frames > len(wire)+1 {
+				t.Fatalf("scanner produced %d frames from %d input bytes", frames, len(wire))
+			}
+		}
+	})
+}

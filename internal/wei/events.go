@@ -63,11 +63,25 @@ type EventLog struct {
 
 	mu     sync.Mutex
 	events []Event
+	sink   func(Event)
 }
 
 // NewEventLog returns an event log using the given clock.
 func NewEventLog(clock sim.Clock) *EventLog {
 	return &EventLog{clock: clock}
+}
+
+// SetSink registers fn to receive every subsequently appended event. The
+// sink runs synchronously under the log's lock, after the event is stamped
+// and recorded, so it observes events in exactly their sequence order with
+// no gaps — the property live streaming resumes depend on. fn must
+// therefore be fast and non-blocking (hand off to a queue, as
+// portal.EventPublisher does) and must not call back into the log. A nil
+// fn detaches the sink.
+func (l *EventLog) SetSink(fn func(Event)) {
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
 }
 
 // Append records an event, stamping sequence number and time.
@@ -76,6 +90,9 @@ func (l *EventLog) Append(e Event) {
 	e.Seq = len(l.events)
 	e.Time = l.clock.Now()
 	l.events = append(l.events, e)
+	if l.sink != nil {
+		l.sink(e)
+	}
 	l.mu.Unlock()
 }
 
@@ -105,6 +122,49 @@ func FilterWorkflow(events []Event, workflow string) []Event {
 		if e.Workflow == workflow {
 			out = append(out, e)
 		}
+	}
+	return out
+}
+
+// MergeEvents merges per-campaign (or per-lane) event streams into one
+// sequence ordered by (virtual time, source index, per-log seq). Each input
+// must be in its own log order (Append order: seq ascending, time
+// non-decreasing — what EventLog.Events returns); the merge is then stable
+// and total, and the output is monotone in time with every source's seq
+// order preserved inside ties.
+//
+// The tie-break matters: concurrent lanes stamp many events at the same
+// virtual instant (a SimClock only moves when everyone sleeps), so sorting
+// a concatenation by time alone — sort.Slice is not stable — can reorder
+// one campaign's same-instant events against their own seq order, showing a
+// subscriber a step_end before its step_start. Merging with (source, seq)
+// as the tie-break cannot.
+func MergeEvents(logs ...[]Event) []Event {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	out := make([]Event, 0, total)
+	heads := make([]int, len(logs))
+	for len(out) < total {
+		best := -1
+		for i, l := range logs {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			// Strictly earlier time wins; ties keep the lowest source
+			// index, and within one source Append order is already seq
+			// order.
+			if l[heads[i]].Time.Before(logs[best][heads[best]].Time) {
+				best = i
+			}
+		}
+		out = append(out, logs[best][heads[best]])
+		heads[best]++
 	}
 	return out
 }

@@ -1,0 +1,201 @@
+package wei
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"colormatch/internal/sim"
+)
+
+// Property tests for MergeEvents: merging per-lane event logs must produce a
+// stream that is (1) monotone non-decreasing in virtual time, (2) seq-order
+// preserving within each source — a step_end must never surface before its
+// own step_start just because both carry the same virtual timestamp — and
+// (3) a permutation of the inputs (nothing dropped, nothing duplicated).
+//
+// These are exactly the properties a naive `sort.Slice(all, by time)` over
+// the concatenation violates: sort.Slice is unstable, and SimClock lanes
+// stamp long runs of events at identical virtual instants, so same-instant
+// reordering is not a corner case but the common case.
+
+// checkMerged asserts the three merge properties against the source logs.
+func checkMerged(t *testing.T, merged []Event, logs [][]Event) {
+	t.Helper()
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if len(merged) != total {
+		t.Fatalf("merge dropped or duplicated: %d events out, %d in", len(merged), total)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time.Before(merged[i-1].Time) {
+			t.Fatalf("time went backwards at %d: %v after %v", i, merged[i].Time, merged[i-1].Time)
+		}
+	}
+	// Per-source subsequence check: replaying the merge must consume every
+	// source strictly in its own order. Sources are distinguished by the
+	// Workflow field, which the generators below keep unique per log.
+	heads := map[string]int{}
+	byLane := map[string][]Event{}
+	for _, l := range logs {
+		if len(l) > 0 {
+			byLane[l[0].Workflow] = l
+		}
+	}
+	for i, e := range merged {
+		src, ok := byLane[e.Workflow]
+		if !ok {
+			t.Fatalf("merged event %d from unknown lane %q", i, e.Workflow)
+		}
+		h := heads[e.Workflow]
+		if h >= len(src) {
+			t.Fatalf("lane %q produced more events than its log holds", e.Workflow)
+		}
+		if src[h].Seq != e.Seq || src[h].Kind != e.Kind {
+			t.Fatalf("lane %q out of order: merged[%d] has seq %d, lane expects seq %d",
+				e.Workflow, i, e.Seq, src[h].Seq)
+		}
+		heads[e.Workflow]++
+	}
+}
+
+// TestMergeEventsTieHeavy drives the worst case directly: many lanes whose
+// timestamps collide constantly, with a seeded shuffle of batch sizes.
+func TestMergeEventsTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		lanes := 2 + rng.Intn(4)
+		logs := make([][]Event, lanes)
+		t0 := sim.Epoch
+		for lane := range logs {
+			clockTime := t0
+			n := 5 + rng.Intn(40)
+			for seq := 0; seq < n; seq++ {
+				// Advance virtual time rarely, so most neighbours within a
+				// lane — and across lanes — share an instant.
+				if rng.Intn(4) == 0 {
+					clockTime = clockTime.Add(time.Duration(1+rng.Intn(3)) * time.Second)
+				}
+				kind := EvStepStart
+				if seq%2 == 1 {
+					kind = EvStepEnd
+				}
+				logs[lane] = append(logs[lane], Event{
+					Seq:      seq,
+					Time:     clockTime,
+					Kind:     kind,
+					Workflow: fmt.Sprintf("lane-%d", lane),
+				})
+			}
+		}
+		checkMerged(t, MergeEvents(logs...), logs)
+	}
+}
+
+// TestMergeEventsPairedSteps asserts the user-visible symptom the merge
+// exists to prevent: for every lane, each step's start precedes its end in
+// the merged stream even when both share one virtual instant.
+func TestMergeEventsPairedSteps(t *testing.T) {
+	const lanes, steps = 6, 30
+	logs := make([][]Event, lanes)
+	for lane := range logs {
+		for s := 0; s < steps; s++ {
+			// start and end deliberately share a timestamp, and runs of 5
+			// consecutive steps share one instant across all lanes.
+			at := sim.Epoch.Add(time.Duration(s/5) * time.Minute)
+			logs[lane] = append(logs[lane],
+				Event{Seq: 2 * s, Time: at, Kind: EvStepStart, Step: fmt.Sprintf("s%d", s), Workflow: fmt.Sprintf("lane-%d", lane)},
+				Event{Seq: 2*s + 1, Time: at, Kind: EvStepEnd, Step: fmt.Sprintf("s%d", s), Workflow: fmt.Sprintf("lane-%d", lane)},
+			)
+		}
+	}
+	merged := MergeEvents(logs...)
+	open := map[string]bool{} // lane/step → start seen
+	for i, e := range merged {
+		key := e.Workflow + "/" + e.Step
+		switch e.Kind {
+		case EvStepStart:
+			open[key] = true
+		case EvStepEnd:
+			if !open[key] {
+				t.Fatalf("merged[%d]: %s ended before it started", i, key)
+			}
+			delete(open, key)
+		}
+	}
+	checkMerged(t, merged, logs)
+}
+
+// TestMergeEventsFromConcurrentLogs builds the inputs the way fleet does:
+// concurrent goroutines appending to per-lane EventLogs that share one
+// SimClock, so the timestamps carry real scheduler-order ties. Each log is
+// internally consistent by construction (Append stamps under the lock); the
+// merge must keep it that way.
+func TestMergeEventsFromConcurrentLogs(t *testing.T) {
+	clock := sim.NewSimClock()
+	const lanes = 4
+	const perLane = 60
+	clock.AddWorker(lanes)
+	logsObj := make([]*EventLog, lanes)
+	for i := range logsObj {
+		logsObj[i] = NewEventLog(clock)
+	}
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			defer clock.DoneWorker()
+			name := fmt.Sprintf("lane-%d", lane)
+			for s := 0; s < perLane; s++ {
+				logsObj[lane].Append(Event{Kind: EvStepStart, Step: fmt.Sprintf("s%d", s), Workflow: name})
+				if s%3 == lane%3 {
+					clock.Sleep(time.Duration(1+s%4) * time.Second)
+				}
+				logsObj[lane].Append(Event{Kind: EvStepEnd, Step: fmt.Sprintf("s%d", s), Workflow: name})
+			}
+		}(lane)
+	}
+	wg.Wait()
+	logs := make([][]Event, lanes)
+	for i, l := range logsObj {
+		logs[i] = l.Events()
+	}
+	checkMerged(t, MergeEvents(logs...), logs)
+}
+
+// TestMergeEventsEdgeCases: empty inputs, single log, all-one-instant.
+func TestMergeEventsEdgeCases(t *testing.T) {
+	if got := MergeEvents(); len(got) != 0 {
+		t.Fatalf("merge of nothing = %d events", len(got))
+	}
+	if got := MergeEvents(nil, nil, []Event{}); len(got) != 0 {
+		t.Fatalf("merge of empties = %d events", len(got))
+	}
+	single := []Event{
+		{Seq: 0, Time: sim.Epoch, Kind: EvStepStart, Workflow: "lane-0"},
+		{Seq: 1, Time: sim.Epoch, Kind: EvStepEnd, Workflow: "lane-0"},
+	}
+	checkMerged(t, MergeEvents(single), [][]Event{single})
+
+	// Every event in every lane at the same instant: output must be exactly
+	// lane 0's log, then lane 1's, each in seq order.
+	flat := make([][]Event, 3)
+	for lane := range flat {
+		for s := 0; s < 10; s++ {
+			flat[lane] = append(flat[lane], Event{Seq: s, Time: sim.Epoch, Kind: EvNote, Workflow: fmt.Sprintf("lane-%d", lane)})
+		}
+	}
+	merged := MergeEvents(flat...)
+	checkMerged(t, merged, flat)
+	for i, e := range merged {
+		wantLane, wantSeq := i/10, i%10
+		if e.Workflow != fmt.Sprintf("lane-%d", wantLane) || e.Seq != wantSeq {
+			t.Fatalf("all-ties merge[%d] = %s seq %d, want lane-%d seq %d", i, e.Workflow, e.Seq, wantLane, wantSeq)
+		}
+	}
+}
